@@ -1,0 +1,88 @@
+// Ablation: the exponential-backoff cap of the spin lock (simulator).
+//
+// The paper evaluates two caps: 35 us ("intended for lightly contended
+// locks ... used internal to our operating system for a cluster size of 4")
+// and 2 ms ("yields optimal results for the experiments presented" but
+// "highly susceptible to starvation").  This sweep fills in the curve
+// between them: throughput-derived response time, lock-module utilization
+// (the second-order footprint), and the starvation tail.
+
+#include <cstdio>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/locks/spin_lock.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/stats.h"
+#include "src/hsim/task.h"
+
+namespace {
+
+struct Row {
+  double w_us;
+  double module_util;
+  double frac_over_2ms;
+  double max_us;
+};
+
+Row RunCap(hsim::Tick cap, unsigned procs, hsim::Tick hold, hsim::Tick duration) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  hsim::SimSpinLock lock(&machine, /*home=*/0, cap);
+  hsim::LatencyRecorder recorder;
+  std::uint64_t window_ops = 0;
+  const hsim::Tick warm = hsim::UsToTicks(1000);
+  const hsim::Tick deadline = warm + duration;
+  struct Ctx {
+    hsim::SimSpinLock* lock;
+    hsim::LatencyRecorder* rec;
+    std::uint64_t* ops;
+    hsim::Tick warm, deadline, hold;
+  } ctx{&lock, &recorder, &window_ops, warm, deadline, hold};
+  for (unsigned p = 0; p < procs; ++p) {
+    engine.Spawn([](hsim::Processor* proc, Ctx* c) -> hsim::Task<void> {
+      while (proc->now() < c->deadline) {
+        const hsim::Tick t0 = proc->now();
+        co_await c->lock->Acquire(*proc);
+        const hsim::Tick t1 = proc->now();
+        if (t1 >= c->warm && t1 <= c->deadline) {
+          ++*c->ops;
+          if (t0 >= c->warm) {
+            c->rec->Record(t1 - t0);
+          }
+        }
+        co_await proc->Compute(c->hold);
+        co_await c->lock->Release(*proc);
+        co_await proc->Compute(48);
+      }
+    }(&machine.processor(p), &ctx));
+  }
+  engine.RunUntilIdle();
+  Row row;
+  row.w_us = window_ops ? procs * hsim::TicksToUs(duration) / static_cast<double>(window_ops) : 0;
+  row.module_util = engine.now() ? static_cast<double>(machine.memory(0).total_busy()) /
+                                       static_cast<double>(engine.now())
+                                 : 0;
+  row.frac_over_2ms = recorder.fraction_above(hsim::UsToTicks(2000));
+  row.max_us = hsim::TicksToUs(recorder.max());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  printf("Ablation: spin-lock backoff cap sweep, p=16, hold=25 us (simulator)\n\n");
+  printf("%10s %12s %14s %12s %12s\n", "cap(us)", "W(us)", "module util", ">2ms frac",
+         "worst(us)");
+  const double caps_us[] = {8, 35, 140, 500, 2000, 8000};
+  for (double cap : caps_us) {
+    const Row r = RunCap(hsim::UsToTicks(cap), 16, hsim::UsToTicks(25), hsim::UsToTicks(60000));
+    printf("%10.0f %12.1f %13.1f%% %11.2f%% %12.0f\n", cap, r.w_us, 100 * r.module_util,
+           100 * r.frac_over_2ms, r.max_us);
+  }
+  printf("\nReading: small caps flood the lock's memory module (second-order\n"
+         "contention slows everyone, including the holder); large caps quiet the\n"
+         "memory system but leave the lock idle between retries and grow an\n"
+         "ever-longer starvation tail.  The queue-based Distributed Locks escape\n"
+         "the trade-off entirely, which is the paper's argument for them.\n");
+  return 0;
+}

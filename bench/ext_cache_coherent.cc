@@ -1,0 +1,86 @@
+// Extension experiment: Section 5.2's what-if -- the same lock algorithms on
+// a cache-coherent machine with cache-based atomic primitives.
+//
+// The paper's predictions, each checked here:
+//   1. "cache-based atomic primitives can reduce the cost of atomic
+//      operations to close to that of regular memory accesses": uncontended
+//      lock/unlock pairs collapse from microseconds to a handful of cycles
+//      once the lock line stays in the owner's cache.
+//   2. For "low sharing [and] low steady-state contention ... spin locks
+//      would be the better choice, since they have the lowest latency".
+//   3. "if high contention is common", queue-based locks win -- the
+//      spin lock's line ping-pong (every retry steals the line) replaces the
+//      uncached machine's memory-module meltdown as the second-order effect.
+
+#include <cstdio>
+
+#include "src/hsim/locks/stress.h"
+
+namespace {
+
+using hsim::LockKind;
+using hsim::LockStressParams;
+using hsim::MachineConfig;
+
+double Pair(LockKind kind, bool coherent) {
+  // UncontendedPairLatencyUs builds its own machine; replicate it here with a
+  // configurable machine via the stress harness at p=1 instead.
+  LockStressParams params;
+  params.kind = kind;
+  params.processors = 1;
+  params.hold = 0;
+  params.think = 64;
+  params.machine.cache_coherent = coherent;
+  params.duration = hsim::UsToTicks(4000);
+  const auto r = hsim::RunLockStress(params);
+  // little_response ~ acquire+hold+release+think per op; subtract the think.
+  return r.little_response_us() - hsim::TicksToUs(64);
+}
+
+double Contended(LockKind kind, bool coherent, unsigned p) {
+  LockStressParams params;
+  params.kind = kind;
+  params.processors = p;
+  params.hold = 0;
+  params.machine.cache_coherent = coherent;
+  params.duration = hsim::UsToTicks(12000);
+  return hsim::RunLockStress(params).little_response_us();
+}
+
+}  // namespace
+
+int main() {
+  printf("Extension: the Section 5.2 what-if -- cache coherence + cached atomics\n\n");
+
+  printf("Uncontended lock+unlock cycle (us, loop overhead removed):\n");
+  printf("%-10s %12s %12s\n", "lock", "uncached", "coherent");
+  for (auto [kind, name] : {std::pair{LockKind::kSpin35us, "spin"},
+                            {LockKind::kMcs, "mcs"},
+                            {LockKind::kMcsH2, "h2-mcs"}}) {
+    printf("%-10s %12.2f %12.2f\n", name, Pair(kind, false), Pair(kind, true));
+  }
+  printf("(prediction 1: cached atomics make the uncontended pair nearly free,\n"
+         " eroding -- as the paper anticipated -- part of the hybrid strategy's\n"
+         " atomic-op-counting advantage)\n\n");
+
+  printf("Contended response W (us) on the coherent machine, hold=0:\n");
+  printf("%-10s", "lock \\ p");
+  for (unsigned p : {2u, 4u, 8u, 16u}) {
+    printf("%10u", p);
+  }
+  printf("\n");
+  for (auto [kind, name] : {std::pair{LockKind::kSpin35us, "spin-35us"},
+                            {LockKind::kMcs, "mcs"},
+                            {LockKind::kMcsH2, "h2-mcs"}}) {
+    printf("%-10s", name);
+    for (unsigned p : {2u, 4u, 8u, 16u}) {
+      printf("%10.1f", Contended(kind, true, p));
+    }
+    printf("\n");
+  }
+  printf("\n(predictions 2 and 3: at low contention the spin lock's latency\n"
+         " advantage shows; as contention rises its line ping-pong lets the\n"
+         " queue locks take over -- hierarchical clustering to bound contention\n"
+         " 'should prove to be even more beneficial' there, Section 5.3)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Hybrid vs fine-grained vs global-lock hash tables, native (Figure 1's
+// design comparison on host hardware).
+//
+// What the hybrid strategy buys (Section 2.4):
+//   - vs fine-grained: ONE lock acquisition on the fast path instead of two
+//     (bucket + entry), so uncontended operations are cheaper;
+//   - vs a global lock: the coarse lock is dropped before the element is
+//     used, so long element holds do not serialize the table.
+
+#include <benchmark/benchmark.h>
+
+#include "src/hlock/fine_table.h"
+#include "src/hlock/hybrid_table.h"
+
+namespace {
+
+void BM_HybridAcquireRelease(benchmark::State& state) {
+  hlock::HybridTable<int, int> table;
+  {
+    auto g = table.Acquire(1);
+    g.value() = 0;
+  }
+  for (auto _ : state) {
+    auto guard = table.Acquire(1);
+    guard.value() += 1;
+    benchmark::DoNotOptimize(guard.value());
+  }
+}
+
+void BM_FineAcquireRelease(benchmark::State& state) {
+  hlock::FineTable<int, int> table;
+  {
+    auto g = table.Acquire(1);
+    g.value() = 0;
+  }
+  for (auto _ : state) {
+    auto guard = table.Acquire(1);
+    guard.value() += 1;
+    benchmark::DoNotOptimize(guard.value());
+  }
+}
+
+void BM_GlobalWith(benchmark::State& state) {
+  hlock::GlobalTable<int, int> table;
+  table.With(1, [](int& v) { v = 0; });
+  for (auto _ : state) {
+    table.With(1, [](int& v) {
+      v += 1;
+      benchmark::DoNotOptimize(v);
+    });
+  }
+}
+
+void BM_HybridPeek(benchmark::State& state) {
+  hlock::HybridTable<int, int> table;
+  {
+    auto g = table.Acquire(7);
+    g.value() = 42;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Peek(7));
+  }
+}
+
+void BM_HybridReaders(benchmark::State& state) {
+  hlock::HybridTable<int, int> table;
+  {
+    auto g = table.Acquire(7);
+    g.value() = 42;
+  }
+  for (auto _ : state) {
+    auto guard = table.AcquireShared(7);
+    benchmark::DoNotOptimize(guard.value());
+  }
+}
+
+// Independent keys under light parallelism: hybrid must not serialize them.
+template <typename TableOp>
+void IndependentKeysLoop(benchmark::State& state, TableOp op) {
+  const int key = static_cast<int>(state.thread_index());
+  for (auto _ : state) {
+    op(key);
+  }
+}
+
+void BM_HybridIndependentKeys(benchmark::State& state) {
+  static hlock::HybridTable<int, int> table;
+  IndependentKeysLoop(state, [&](int key) {
+    auto guard = table.Acquire(key);
+    guard.value() += 1;
+  });
+}
+
+void BM_FineIndependentKeys(benchmark::State& state) {
+  static hlock::FineTable<int, int> table;
+  IndependentKeysLoop(state, [&](int key) {
+    auto guard = table.Acquire(key);
+    guard.value() += 1;
+  });
+}
+
+}  // namespace
+
+BENCHMARK(BM_HybridAcquireRelease);
+BENCHMARK(BM_FineAcquireRelease);
+BENCHMARK(BM_GlobalWith);
+BENCHMARK(BM_HybridPeek);
+BENCHMARK(BM_HybridReaders);
+BENCHMARK(BM_HybridIndependentKeys)->Threads(2);
+BENCHMARK(BM_FineIndependentKeys)->Threads(2);
+
+BENCHMARK_MAIN();

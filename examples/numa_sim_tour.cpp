@@ -1,0 +1,105 @@
+// A tour of the HECTOR simulator: write your own cycle-level experiment in
+// ~40 lines of coroutine code.
+//
+// This example measures, from first principles, why the paper's Distributed
+// Locks beat spin locks on a NUMA machine without cache coherence: it pits
+// one "holder" doing useful work against remote "spinners" and shows the
+// holder's slowdown -- the second-order effect -- directly.
+//
+// Run: ./build/examples/numa_sim_tour
+
+#include <cstdio>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+#include "src/hsim/types.h"
+
+namespace {
+
+using hsim::Engine;
+using hsim::Machine;
+using hsim::Processor;
+using hsim::SimWord;
+using hsim::Task;
+using hsim::Tick;
+
+// The holder walks a linked structure on its own module: 200 dependent loads.
+Task<void> Holder(Processor* p, SimWord* data, Tick* elapsed) {
+  const Tick start = p->now();
+  for (int i = 0; i < 200; ++i) {
+    co_await p->Load(*data);
+    co_await p->Exec(2, 1);
+  }
+  *elapsed = p->now() - start;
+}
+
+// A remote spinner hammers a word co-located with the holder's data --
+// exactly what test-and-set waiters do to a lock word.
+Task<void> Spinner(Processor* p, SimWord* lock_word, int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    co_await p->FetchStore(*lock_word, 1);
+    co_await p->Exec(1, 1);
+  }
+}
+
+Tick RunScenario(int num_spinners) {
+  Engine engine;
+  Machine machine(&engine, hsim::MachineConfig{});
+  // The holder's data and the contended word live on module 0 -- co-located,
+  // as a lock and the structure it protects are in a kernel heap.
+  SimWord& data = machine.AllocWord(0);
+  SimWord& lock_word = machine.AllocWord(0);
+  Tick elapsed = 0;
+  engine.Spawn(Holder(&machine.processor(0), &data, &elapsed));
+  for (int s = 0; s < num_spinners; ++s) {
+    // Spinners come from other stations: their swaps cross the ring.
+    engine.Spawn(Spinner(&machine.processor(4 + s), &lock_word, 400));
+  }
+  engine.RunUntilIdle();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  printf("HECTOR model sanity (uncontended access latencies):\n");
+  {
+    Engine engine;
+    Machine machine(&engine, hsim::MachineConfig{});
+    SimWord& local = machine.AllocWord(0);
+    SimWord& station = machine.AllocWord(1);
+    SimWord& ring = machine.AllocWord(4);
+    engine.Spawn([](Processor* p, SimWord* a, SimWord* b, SimWord* c) -> Task<void> {
+      Tick t0 = p->now();
+      co_await p->Load(*a);
+      printf("  local (on-module):   %2llu cycles (paper: 10)\n",
+             static_cast<unsigned long long>(p->now() - t0));
+      t0 = p->now();
+      co_await p->Load(*b);
+      printf("  on-station:          %2llu cycles (paper: 19)\n",
+             static_cast<unsigned long long>(p->now() - t0));
+      t0 = p->now();
+      co_await p->Load(*c);
+      printf("  cross-ring:          %2llu cycles (paper: 23)\n",
+             static_cast<unsigned long long>(p->now() - t0));
+    }(&machine.processor(0), &local, &station, &ring));
+    engine.RunUntilIdle();
+  }
+
+  printf("\nSecond-order contention: a holder doing 200 dependent local loads\n");
+  printf("while N remote processors hammer a co-located word with swaps:\n\n");
+  const Tick baseline = RunScenario(0);
+  printf("  %2d spinners: %6llu cycles (baseline)\n", 0,
+         static_cast<unsigned long long>(baseline));
+  for (int spinners : {1, 2, 4, 8}) {
+    const Tick t = RunScenario(spinners);
+    printf("  %2d spinners: %6llu cycles (%.2fx slower)\n", spinners,
+           static_cast<unsigned long long>(t),
+           static_cast<double>(t) / static_cast<double>(baseline));
+  }
+  printf("\nThe holder never touches the contended word, yet it slows down --\n");
+  printf("remote spinning steals its memory module's bandwidth.  Distributed\n");
+  printf("Locks avoid this by having waiters spin on their own local nodes.\n");
+  return 0;
+}

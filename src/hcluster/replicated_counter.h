@@ -1,0 +1,58 @@
+// A per-cluster replicated counter.
+//
+// The paper's example of data that hardware cache coherence cannot replicate
+// efficiently: HURRICANE keeps a *separate* reference count on each cluster's
+// instance of a page descriptor, so the hot increment/decrement path touches
+// only cluster-local state.  The precise total is only needed rarely (e.g.,
+// at teardown) and is computed by summing the per-cluster cells.
+
+#ifndef HCLUSTER_REPLICATED_COUNTER_H_
+#define HCLUSTER_REPLICATED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hcluster/topology.h"
+#include "src/hlock/padded.h"
+
+namespace hcluster {
+
+class ReplicatedCounter {
+ public:
+  explicit ReplicatedCounter(const Topology& topology) : topology_(topology) {
+    cells_.reserve(topology.num_clusters());
+    for (std::uint32_t c = 0; c < topology.num_clusters(); ++c) {
+      cells_.push_back(std::make_unique<hlock::Padded<std::atomic<std::int64_t>>>(0));
+    }
+  }
+
+  // Adds to the calling worker's cluster cell.
+  void Add(WorkerId worker, std::int64_t delta) {
+    (*cells_[topology_.cluster_of(worker)])->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // The cluster-local component (exact, cheap).
+  std::int64_t Local(ClusterId cluster) const {
+    return (*cells_[cluster])->load(std::memory_order_relaxed);
+  }
+
+  // The global total (sums all replicas; only approximately a snapshot while
+  // writers are active).
+  std::int64_t Total() const {
+    std::int64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += (*cell)->load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+ private:
+  Topology topology_;
+  std::vector<std::unique_ptr<hlock::Padded<std::atomic<std::int64_t>>>> cells_;
+};
+
+}  // namespace hcluster
+
+#endif  // HCLUSTER_REPLICATED_COUNTER_H_

@@ -1,0 +1,111 @@
+#include "src/hcluster/runtime.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace hcluster {
+namespace {
+
+thread_local WorkerId tls_worker_id = ClusterRuntime::kNotAWorker;
+
+}  // namespace
+
+ClusterRuntime::ClusterRuntime(const Topology& topology) : topology_(topology) {
+  workers_.reserve(topology_.workers);
+  for (WorkerId w = 0; w < topology_.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (WorkerId w = 0; w < topology_.workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+}
+
+ClusterRuntime::~ClusterRuntime() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    worker->wake_cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    worker->thread.join();
+  }
+}
+
+WorkerId ClusterRuntime::current_worker() const { return tls_worker_id; }
+
+void ClusterRuntime::Post(WorkerId w, std::function<void()> fn) {
+  Worker& worker = *workers_[w];
+  {
+    std::lock_guard<std::mutex> guard(worker.task_mutex);
+    worker.tasks.push_back(std::move(fn));
+  }
+  worker.posted.fetch_add(1, std::memory_order_relaxed);
+  worker.wake_cv.notify_one();
+}
+
+void ClusterRuntime::PostHandler(WorkerId w, std::function<void()> fn) {
+  Worker& worker = *workers_[w];
+  worker.gate.Post(std::move(fn));
+  worker.wake_cv.notify_one();
+}
+
+void ClusterRuntime::WorkerLoop(WorkerId id) {
+  tls_worker_id = id;
+  Worker& worker = *workers_[id];
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Handlers first (they are what remote callers are blocked on), then one
+    // process task.
+    worker.gate.Poll();
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> guard(worker.task_mutex);
+      if (!worker.tasks.empty()) {
+        task = std::move(worker.tasks.front());
+        worker.tasks.erase(worker.tasks.begin());
+      }
+    }
+    if (task) {
+      task();
+      worker.completed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Idle: sleep briefly; posts wake us.
+    std::unique_lock<std::mutex> lock(worker.wake_mutex);
+    worker.wake_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ClusterRuntime::ServiceWhileWaiting(std::atomic<bool>* done) {
+  const WorkerId self = tls_worker_id;
+  if (self == kNotAWorker) {
+    while (!done->load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  Worker& worker = *workers_[self];
+  while (!done->load(std::memory_order_acquire)) {
+    // The worker itself is a schedulable resource: keep servicing incoming
+    // handler work or two cross-calling workers deadlock (Section 2.3).
+    worker.gate.Poll();
+    std::this_thread::yield();
+  }
+}
+
+void ClusterRuntime::ServiceInbox() {
+  const WorkerId self = tls_worker_id;
+  if (self != kNotAWorker) {
+    workers_[self]->gate.Poll();
+  }
+}
+
+void ClusterRuntime::Quiesce() {
+  assert(tls_worker_id == kNotAWorker && "Quiesce must be called from outside the runtime");
+  for (auto& worker : workers_) {
+    while (worker->completed.load(std::memory_order_acquire) <
+           worker->posted.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace hcluster

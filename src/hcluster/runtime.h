@@ -1,0 +1,121 @@
+// A native hierarchical-clustering runtime.
+//
+// Workers are threads standing in for HURRICANE's processors.  Each worker
+// owns a SoftIrqGate inbox; cross-cluster operations are blocking calls that
+// run a closure on the target worker.  Two rules are inherited directly from
+// the kernel (Sections 2.3 and 3.2):
+//
+//   1. A worker waiting for its own call's reply keeps servicing its inbox --
+//      the worker itself is a lockable resource, and two workers calling each
+//      other would otherwise deadlock.
+//   2. Handler code must never block on another worker (no nested Call) and
+//      must use the no-spin ("Try") operations on reserved entries, failing
+//      with would-deadlock so the initiator retries.
+
+#ifndef HCLUSTER_RUNTIME_H_
+#define HCLUSTER_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/hcluster/topology.h"
+#include "src/hlock/soft_irq_gate.h"
+
+namespace hcluster {
+
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(const Topology& topology);
+  ~ClusterRuntime();
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  const Topology& topology() const { return topology_; }
+
+  // The worker id of the calling thread, or kNotAWorker from outside.
+  static constexpr WorkerId kNotAWorker = ~0u;
+  WorkerId current_worker() const;
+
+  // Fire-and-forget: run `fn` as a *process* on worker `w`.  Processes may
+  // block in Call; they run from the worker loop, never from inside another
+  // process or handler.
+  void Post(WorkerId w, std::function<void()> fn);
+
+  // Fire-and-forget handler dispatch: `fn` runs in handler context on `w`
+  // (between and within that worker's blocking waits).  Handlers must not
+  // block or Call.
+  void PostHandler(WorkerId w, std::function<void()> fn);
+
+  // Runs `fn` on worker `dst` and waits for its result.  Callable from any
+  // thread; when called from a worker, the worker services its own inbox
+  // while waiting.  `fn` runs in handler context: it must not Call.
+  template <typename Fn>
+  auto Call(WorkerId dst, Fn fn) -> decltype(fn()) {
+    using R = decltype(fn());
+    struct Slot {
+      std::atomic<bool> done{false};
+      alignas(R) unsigned char storage[sizeof(R)];
+    } slot;
+    PostHandler(dst, [&slot, fn = std::move(fn)]() mutable {
+      new (slot.storage) R(fn());
+      slot.done.store(true, std::memory_order_release);
+    });
+    ServiceWhileWaiting(&slot.done);
+    R* result = reinterpret_cast<R*>(slot.storage);
+    R value = std::move(*result);
+    result->~R();
+    return value;
+  }
+
+  // Runs `fn` once on the i-th peer of every cluster except `skip` (the
+  // pessimistic broadcast pattern).  `fn(cluster)` is built per target.
+  template <typename MakeFn>
+  void Broadcast(ClusterId skip, MakeFn make_fn) {
+    const WorkerId self = current_worker();
+    for (ClusterId c = 0; c < topology_.num_clusters(); ++c) {
+      if (c == skip) {
+        continue;
+      }
+      Call(topology_.peer_of(self == kNotAWorker ? 0 : self, c), make_fn(c));
+    }
+  }
+
+  // Services the calling worker's handler inbox once.  Worker code that
+  // busy-waits on anything other than Call (e.g. an entry reservation) must
+  // keep calling this while it waits: the worker is itself a schedulable
+  // resource, and going deaf while blocked recreates the paper's P1/P2
+  // deadlock.  No-op from a non-worker thread.
+  void ServiceInbox();
+
+  // Blocks until all posted work so far has been executed (best effort).
+  void Quiesce();
+
+ private:
+  struct Worker {
+    hlock::SoftIrqGate gate;  // handler (RPC) inbox
+    std::mutex task_mutex;    // process queue
+    std::vector<std::function<void()>> tasks;
+    std::mutex wake_mutex;
+    std::condition_variable wake_cv;
+    std::thread thread;
+    std::atomic<std::uint64_t> posted{0};
+    std::atomic<std::uint64_t> completed{0};
+  };
+
+  void WorkerLoop(WorkerId id);
+  void ServiceWhileWaiting(std::atomic<bool>* done);
+
+  Topology topology_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hcluster
+
+#endif  // HCLUSTER_RUNTIME_H_

@@ -1,0 +1,30 @@
+// Cluster topology: groups workers (the native stand-ins for processors)
+// into clusters and provides the paper's i-th-to-i-th RPC routing.
+
+#ifndef HCLUSTER_TOPOLOGY_H_
+#define HCLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+
+namespace hcluster {
+
+using WorkerId = std::uint32_t;
+using ClusterId = std::uint32_t;
+
+struct Topology {
+  std::uint32_t workers = 16;
+  std::uint32_t cluster_size = 4;
+
+  std::uint32_t num_clusters() const { return (workers + cluster_size - 1) / cluster_size; }
+  ClusterId cluster_of(WorkerId w) const { return w / cluster_size; }
+
+  // RPCs from the i-th worker of a cluster go to the i-th worker of the
+  // target cluster, roughly balancing the RPC load (Section 2.2).
+  WorkerId peer_of(WorkerId src, ClusterId target) const {
+    return target * cluster_size + (src % cluster_size);
+  }
+};
+
+}  // namespace hcluster
+
+#endif  // HCLUSTER_TOPOLOGY_H_

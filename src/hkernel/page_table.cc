@@ -1,0 +1,94 @@
+#include "src/hkernel/page_table.h"
+
+#include "src/hsim/locks/reserve_bit.h"
+
+namespace hkernel {
+
+PageHashTable::PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
+                             std::uint32_t num_bins, std::uint32_t capacity) {
+  bins_.reserve(num_bins);
+  for (std::uint32_t b = 0; b < num_bins; ++b) {
+    bins_.push_back(&machine->AllocWord(modules[b % modules.size()], kNilDesc));
+  }
+  descriptors_.reserve(capacity);
+  free_list_.reserve(capacity);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    const hsim::ModuleId home = modules[i % modules.size()];
+    PageDescriptor d;
+    d.page = &machine->AllocWord(home, 0);
+    d.next = &machine->AllocWord(home, kNilDesc);
+    d.reserve = &machine->AllocWord(home, hsim::SimReserve::kFree);
+    d.flags = &machine->AllocWord(home, 0);
+    d.ref_count = &machine->AllocWord(home, 0);
+    d.replicas = &machine->AllocWord(home, 0);
+    d.payload.reserve(KernelConfig::kPayloadWords);
+    for (std::uint32_t w = 0; w < KernelConfig::kPayloadWords; ++w) {
+      d.payload.push_back(&machine->AllocWord(home, 0));
+    }
+    descriptors_.push_back(std::move(d));
+    free_list_.push_back(capacity - i);  // hand out low indices first
+  }
+}
+
+hsim::Task<DescRef> PageHashTable::Lookup(hsim::Processor& p, std::uint64_t page) {
+  const std::uint32_t bin = BinOf(page);
+  co_await p.Exec(2, 0);  // hash computation
+  DescRef ref = static_cast<DescRef>(co_await p.Load(*bins_[bin]));
+  while (ref != kNilDesc) {
+    co_await p.Exec(0, 1);
+    const std::uint64_t key = co_await p.Load(*desc(ref).page);
+    co_await p.Exec(0, 1);
+    if (key == page) {
+      co_return ref;
+    }
+    ref = static_cast<DescRef>(co_await p.Load(*desc(ref).next));
+  }
+  co_await p.Exec(0, 1);
+  co_return kNilDesc;
+}
+
+hsim::Task<DescRef> PageHashTable::Insert(hsim::Processor& p, std::uint64_t page) {
+  if (free_list_.empty()) {
+    co_return kNilDesc;
+  }
+  const DescRef ref = free_list_.back();
+  free_list_.pop_back();
+  ++live_;
+  co_await p.Exec(4, 1);  // pool allocation bookkeeping
+  PageDescriptor& d = desc(ref);
+  co_await p.Store(*d.page, page);
+  co_await p.Store(*d.flags, 0);
+  const std::uint32_t bin = BinOf(page);
+  const std::uint64_t head = co_await p.Load(*bins_[bin]);
+  co_await p.Store(*d.next, head);
+  co_await p.Store(*bins_[bin], ref);
+  co_return ref;
+}
+
+hsim::Task<bool> PageHashTable::Remove(hsim::Processor& p, std::uint64_t page) {
+  const std::uint32_t bin = BinOf(page);
+  co_await p.Exec(2, 0);
+  hsim::SimWord* link = bins_[bin];
+  DescRef ref = static_cast<DescRef>(co_await p.Load(*link));
+  while (ref != kNilDesc) {
+    co_await p.Exec(0, 1);
+    const std::uint64_t key = co_await p.Load(*desc(ref).page);
+    co_await p.Exec(0, 1);
+    if (key == page) {
+      const std::uint64_t next = co_await p.Load(*desc(ref).next);
+      co_await p.Store(*link, next);
+      // Scrub identity but keep the reserve word type-stable: a late spinner
+      // observes kFree (or the next owner's state), never garbage.
+      co_await p.Store(*desc(ref).page, 0);
+      co_await p.Exec(3, 1);  // free-list bookkeeping
+      free_list_.push_back(ref);
+      --live_;
+      co_return true;
+    }
+    link = desc(ref).next;
+    ref = static_cast<DescRef>(co_await p.Load(*link));
+  }
+  co_return false;
+}
+
+}  // namespace hkernel

@@ -1,0 +1,86 @@
+// Per-cluster page descriptors and the chained hash table that holds them
+// (Figure 1 / Figure 2 of the paper).
+//
+// Every cluster instantiates its own table, protected by one coarse-grained
+// lock (owned by ClusterKernel, not by the table).  Descriptors are allocated
+// from a per-cluster, type-stable pool: memory used for a page descriptor is
+// only ever reused for another page descriptor, which is what makes spinning
+// on a freed descriptor's reserve word safe (paper footnote 2).
+//
+// All table operations must be called with the cluster's coarse lock held.
+// They walk real simulated memory, so the time the coarse lock is held -- and
+// the memory traffic the walk generates -- is an emergent property.
+
+#ifndef HKERNEL_PAGE_TABLE_H_
+#define HKERNEL_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hkernel/config.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hkernel {
+
+// Index of a descriptor within a cluster pool, offset by one; 0 means nil.
+using DescRef = std::uint32_t;
+inline constexpr DescRef kNilDesc = 0;
+
+struct PageDescriptor {
+  hsim::SimWord* page;       // page identifier this descriptor describes
+  hsim::SimWord* next;       // hash chain link (DescRef)
+  hsim::SimWord* reserve;    // reserve word (see hsim::SimReserve)
+  hsim::SimWord* flags;      // kFlagPresent | kFlagHome
+  hsim::SimWord* ref_count;  // per-cluster mapping reference count
+  hsim::SimWord* replicas;   // home only: bitmask of clusters holding replicas
+  std::vector<hsim::SimWord*> payload;  // data copied on replication
+};
+
+inline constexpr std::uint64_t kFlagPresent = 1;  // payload is valid
+inline constexpr std::uint64_t kFlagHome = 2;     // this cluster is the page's home
+
+class PageHashTable {
+ public:
+  // `modules` are the memory modules of the owning cluster; bins and
+  // descriptors are spread round-robin across them.
+  PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
+                std::uint32_t num_bins, std::uint32_t capacity);
+
+  PageHashTable(const PageHashTable&) = delete;
+  PageHashTable& operator=(const PageHashTable&) = delete;
+
+  // Searches the hash chain for `page`.  Returns kNilDesc if absent.
+  hsim::Task<DescRef> Lookup(hsim::Processor& p, std::uint64_t page);
+
+  // Allocates a descriptor for `page` and links it at the head of its chain.
+  // `page` must not already be present.  Returns kNilDesc if the pool is
+  // exhausted.
+  hsim::Task<DescRef> Insert(hsim::Processor& p, std::uint64_t page);
+
+  // Unlinks and frees the descriptor for `page`.  Returns false if absent.
+  hsim::Task<bool> Remove(hsim::Processor& p, std::uint64_t page);
+
+  PageDescriptor& desc(DescRef ref) { return descriptors_[ref - 1]; }
+  const PageDescriptor& desc(DescRef ref) const { return descriptors_[ref - 1]; }
+
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(descriptors_.size()); }
+  std::uint32_t live() const { return live_; }
+
+ private:
+  std::uint32_t BinOf(std::uint64_t page) const {
+    // Multiplicative hash; bins are a power of two in practice but this does
+    // not rely on it.
+    return static_cast<std::uint32_t>((page * 0x9E3779B97F4A7C15ULL) >> 32) %
+           static_cast<std::uint32_t>(bins_.size());
+  }
+
+  std::vector<hsim::SimWord*> bins_;  // each holds a DescRef
+  std::vector<PageDescriptor> descriptors_;
+  std::vector<DescRef> free_list_;
+  std::uint32_t live_ = 0;
+};
+
+}  // namespace hkernel
+
+#endif  // HKERNEL_PAGE_TABLE_H_

@@ -1,0 +1,102 @@
+#include "src/hkernel/rpc.h"
+
+#include <cassert>
+
+#include "src/hkernel/kernel.h"
+#include "src/hsim/engine.h"
+
+namespace hkernel {
+
+namespace {
+
+// Transports a request to the target processor after the interrupt-delivery
+// latency.  Runs as a detached engine task.
+hsim::Task<void> DeliverAfter(hsim::Engine* engine, hsim::Tick transit, CpuKernel* target,
+                              RpcRequest* request) {
+  co_await engine->Delay(transit);
+  target->Deliver(request);
+}
+
+}  // namespace
+
+hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcRequest*>* queue,
+                                        int budget) {
+  const KernelConfig& cfg = system_->config();
+  while (!queue->empty() && budget-- > 0) {
+    RpcRequest* request = queue->front();
+    queue->pop_front();
+    ++handled_;
+    in_handler_ = true;
+    co_await p.Compute(cfg.rpc_dispatch);
+    co_await system_->HandleRpc(p, *request);
+    co_await p.Compute(cfg.rpc_reply);
+    in_handler_ = false;
+    assert(request->status != RpcStatus::kPending);
+    // The reply travels back to the initiator.  This store is the completion
+    // signal the initiator polls on, and it MUST be the last touch of the
+    // request: the moment the initiator observes it, the request (which
+    // lives in the initiator's frame) may cease to exist.
+    request->reply_visible_at = p.now() + cfg.rpc_transit;
+  }
+}
+
+hsim::Task<void> CpuKernel::IrqPoint(hsim::Processor& p) {
+  if (in_handler_) {
+    // Handlers are not re-entered; nested work waits for the outer handler.
+    co_return;
+  }
+  if (masked()) {
+    // The gate is closed: take the interrupts but defer the work, exactly as
+    // the paper's per-processor work queue does.  The handler-entry cost is
+    // paid now; the work itself runs when the gate opens.  The request is
+    // popped *before* the await: co-located interrupt points interleave at
+    // awaits, and two of them must never defer the same request.
+    while (!inbox_.empty()) {
+      RpcRequest* request = inbox_.front();
+      inbox_.pop_front();
+      co_await p.Compute(system_->config().rpc_dispatch / 2);
+      deferred_.push_back(request);
+      ++deferred_total_;
+    }
+    co_return;
+  }
+  // Bound the work done per interrupt point: servicing at most a couple of
+  // requests before returning control lets the interrupted kernel path make
+  // progress even under a retry storm (otherwise a reserve-bit holder can be
+  // livelocked into never clearing the bit the retries are waiting for).
+  int budget = system_->config().irq_batch;
+  if (!deferred_.empty()) {
+    co_await RunHandlers(p, &deferred_, budget);
+    budget = 0;
+  }
+  if (budget > 0 && !inbox_.empty()) {
+    co_await RunHandlers(p, &inbox_, budget);
+  }
+}
+
+hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcRequest* request) {
+  assert(!masked() && "RPCs must not be issued while holding coarse locks");
+  assert(target != id_ && "RPC to self would deadlock");
+  const KernelConfig& cfg = system_->config();
+  request->status = RpcStatus::kPending;
+  request->reply_visible_at = 0;
+  request->src_proc = id_;
+  request->src_cluster = system_->cluster_of_proc(id_);
+
+  co_await p.Compute(cfg.rpc_send);
+  p.engine().Spawn(
+      DeliverAfter(&p.engine(), cfg.rpc_transit, &system_->cpu(target), request));
+
+  // Wait for the reply.  The processor itself is a schedulable resource: keep
+  // servicing our own incoming requests, otherwise two processors calling
+  // each other deadlock (Section 2.3).  reply_visible_at is the completion
+  // signal; the handler writes it last.
+  while (request->reply_visible_at == 0 || p.now() < request->reply_visible_at) {
+    co_await IrqPoint(p);
+    co_await p.Compute(cfg.rpc_poll);
+  }
+  co_await p.Compute(cfg.rpc_recv);
+  assert(request->status != RpcStatus::kPending);
+}
+
+}  // namespace hkernel

@@ -1,0 +1,130 @@
+// Inter-processor RPC with soft interrupt masking (Section 3.2).
+//
+// HURRICANE invokes cross-cluster operations by interrupting a processor in
+// the target cluster (the i-th processor of the source cluster always calls
+// the i-th processor of the target cluster, balancing the RPC load).  Because
+// the kernel runs with interrupts enabled, a handler could interrupt code
+// that holds the very lock the handler needs.  The paper's resolution
+// (adapted from Stodolsky et al.) is a per-processor software interrupt gate:
+// the flag is set before any lock that could deadlock with a handler is
+// acquired, handlers run only when the flag is clear, and work arriving while
+// the flag is set is deferred to a per-processor queue that is drained when
+// the flag clears.
+//
+// In this simulator interrupts are polled: kernel code calls IrqPoint() at
+// the same program points where HURRICANE's handlers could run (idle loops,
+// reserve-bit spins, RPC reply waits).  The gate semantics are identical.
+//
+// While a processor waits for an RPC reply it keeps servicing incoming
+// requests: the processor itself is a lockable resource (Section 2.3), and
+// refusing to service requests while blocked is exactly the deadlock the
+// paper describes between processors P1 and P2.
+
+#ifndef HKERNEL_RPC_H_
+#define HKERNEL_RPC_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "src/hkernel/config.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hkernel {
+
+enum class RpcOp : std::uint8_t {
+  kNull,          // measurement only
+  kGetPage,       // fetch a page descriptor's payload from its home cluster
+  kInvalidate,    // remove a replica of a page descriptor
+  kGlobalUpdate,  // apply a broadcast update to a replica's payload
+  // Process management (see process.h).
+  kProcAddChild,     // link arg (child pid) under page (parent pid)
+  kProcUnlinkChild,  // unlink arg (child pid) from page (parent pid)
+  kProcDeposit,      // deposit a message into page (target pid)'s mailbox
+};
+
+enum class RpcStatus : std::uint8_t {
+  kPending,
+  kOk,
+  kWouldDeadlock,  // a reserve bit was held; caller must back off and retry
+  kNotFound,       // the descriptor is gone; caller must re-establish state
+};
+
+struct RpcRequest {
+  RpcOp op = RpcOp::kNull;
+  std::uint64_t page = 0;
+  std::uint64_t arg = 0;
+  hsim::ProcId src_proc = 0;
+  std::uint32_t src_cluster = 0;
+
+  RpcStatus status = RpcStatus::kPending;
+  std::array<std::uint64_t, KernelConfig::kPayloadWords> payload{};
+  hsim::Tick reply_visible_at = 0;  // reply transit modelling
+};
+
+class KernelSystem;
+
+// Per-processor kernel state: the RPC inbox, the soft interrupt gate, and the
+// deferred-work queue.
+class CpuKernel {
+ public:
+  CpuKernel(KernelSystem* system, hsim::ProcId id) : system_(system), id_(id) {}
+  CpuKernel(const CpuKernel&) = delete;
+  CpuKernel& operator=(const CpuKernel&) = delete;
+
+  hsim::ProcId id() const { return id_; }
+
+  // --- soft interrupt gate ---------------------------------------------------
+  // Nested masking is allowed (lock sites nest).
+  void Mask() { ++mask_depth_; }
+  bool masked() const { return mask_depth_ > 0; }
+
+  // Clears one level of masking.  The caller must follow with IrqPoint() (or
+  // use KernelSystem's lock wrappers, which do) so deferred work is drained
+  // promptly.
+  void Unmask() { --mask_depth_; }
+
+  // A real processor has one program counter: at most one context can be in
+  // the coarse-lock acquire/hold/release path at a time (per-processor MCS
+  // queue nodes depend on it).  The simulator interleaves co-located
+  // coroutines at awaits, so KernelSystem's lock wrappers serialize on this
+  // flag.
+  bool lock_path_busy() const { return lock_path_busy_; }
+  void set_lock_path_busy(bool busy) { lock_path_busy_ = busy; }
+
+  // Delivery (called by the RPC transport at the interrupt instant).
+  void Deliver(RpcRequest* request) { inbox_.push_back(request); }
+
+  // Services pending requests if the gate is open.  If the gate is closed,
+  // requests are shunted (with the handler-entry cost) onto the deferred
+  // queue, mirroring the paper's mechanism.
+  hsim::Task<void> IrqPoint(hsim::Processor& p);
+
+  // Sends `request` to `target` and waits for the reply, servicing our own
+  // incoming requests while waiting.  Must be called with the gate open and
+  // no coarse locks held.
+  hsim::Task<void> Call(hsim::Processor& p, hsim::ProcId target, RpcRequest* request);
+
+  // --- statistics -------------------------------------------------------------
+  std::uint64_t handled() const { return handled_; }
+  std::uint64_t deferred_count() const { return deferred_total_; }
+  bool in_handler() const { return in_handler_; }
+
+ private:
+  hsim::Task<void> RunHandlers(hsim::Processor& p, std::deque<RpcRequest*>* queue, int budget);
+
+  KernelSystem* system_;
+  hsim::ProcId id_;
+  int mask_depth_ = 0;
+  bool in_handler_ = false;
+  bool lock_path_busy_ = false;
+  std::deque<RpcRequest*> inbox_;
+  std::deque<RpcRequest*> deferred_;
+  std::uint64_t handled_ = 0;
+  std::uint64_t deferred_total_ = 0;
+};
+
+}  // namespace hkernel
+
+#endif  // HKERNEL_RPC_H_

@@ -1,0 +1,14 @@
+// Latency recording (alias of the hsim recorder).
+
+#ifndef HKERNEL_STATS_H_
+#define HKERNEL_STATS_H_
+
+#include "src/hsim/stats.h"
+
+namespace hkernel {
+
+using LatencyRecorder = hsim::LatencyRecorder;
+
+}  // namespace hkernel
+
+#endif  // HKERNEL_STATS_H_

@@ -1,0 +1,62 @@
+// Exponential backoff helper for native spin loops.
+//
+// On the 1-or-few-core machines this library may be tested on, a pure
+// busy-wait starves the lock holder of its timeslice, so after a bounded
+// number of pause rounds the backoff yields to the scheduler.  On a large
+// multiprocessor the yield threshold is effectively never reached for
+// uncontended locks.
+
+#ifndef HLOCK_BACKOFF_H_
+#define HLOCK_BACKOFF_H_
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace hlock {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  // `min_spins`/`max_spins` bound the exponential pause count per round.
+  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
+      : current_(min_spins), max_(max_spins) {}
+
+  // One backoff round: pause `current_` times (doubling up to the max), then
+  // yield if we have been spinning for a long time already.
+  void Pause() {
+    for (std::uint32_t i = 0; i < current_; ++i) {
+      CpuRelax();
+    }
+    if (current_ < max_) {
+      current_ *= 2;
+    } else {
+      // At the cap: let the holder run (essential on few-core hosts).
+      std::this_thread::yield();
+    }
+    ++rounds_;
+  }
+
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  std::uint32_t current_;
+  std::uint32_t max_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_BACKOFF_H_

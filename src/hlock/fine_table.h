@@ -1,0 +1,179 @@
+// Baseline tables for comparing against the hybrid locking strategy
+// (Figure 1a and the single-global-lock strawman).
+//
+//   FineTable   -- one spin lock per bucket plus one lock per entry: the
+//                  fully fine-grained design of Figure 1a.  Two lock
+//                  acquisitions on every access, maximal concurrency.
+//   GlobalTable -- one lock held for the entire operation: minimal cost per
+//                  acquisition, no concurrency.
+
+#ifndef HLOCK_FINE_TABLE_H_
+#define HLOCK_FINE_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/hlock/spin_locks.h"
+
+namespace hlock {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FineTable {
+ private:
+  struct Entry {
+    K key{};
+    V value{};
+    TtasSpinLock lock;
+    Entry* next = nullptr;
+  };
+
+  struct Bucket {
+    TtasSpinLock lock;
+    Entry* head = nullptr;
+  };
+
+ public:
+  explicit FineTable(std::size_t num_buckets = 128) : buckets_(num_buckets) {}
+  FineTable(const FineTable&) = delete;
+  FineTable& operator=(const FineTable&) = delete;
+
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept : entry_(std::exchange(other.entry_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      Release();
+      entry_ = std::exchange(other.entry_, nullptr);
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    const K& key() const { return entry_->key; }
+    V& value() { return entry_->value; }
+
+    void Release() {
+      if (entry_ != nullptr) {
+        entry_->lock.unlock();
+        entry_ = nullptr;
+      }
+    }
+
+   private:
+    friend class FineTable;
+    explicit Guard(Entry* entry) : entry_(entry) {}
+    Entry* entry_ = nullptr;
+  };
+
+  // Locks the entry for `key`, creating it if absent.  Two lock levels: the
+  // bucket lock to find/insert, then the entry lock to own the element
+  // (taken outside the bucket lock, as a fine-grained design must to avoid
+  // serializing the bucket behind a long element hold).
+  Guard Acquire(const K& key) {
+    Bucket& bucket = buckets_[Hash{}(key) % buckets_.size()];
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<TtasSpinLock> guard(bucket.lock);
+      entry = FindInBucket(bucket, key);
+      if (entry == nullptr) {
+        {
+          std::lock_guard<TtasSpinLock> pool_guard(pool_lock_);
+          pool_.emplace_back();
+          entry = &pool_.back();
+        }
+        entry->key = key;
+        entry->next = bucket.head;
+        bucket.head = entry;
+      }
+    }
+    entry->lock.lock();
+    return Guard(entry);
+  }
+
+  std::optional<V> Peek(const K& key) {
+    Bucket& bucket = buckets_[Hash{}(key) % buckets_.size()];
+    std::lock_guard<TtasSpinLock> guard(bucket.lock);
+    Entry* entry = FindInBucket(bucket, key);
+    if (entry == nullptr) {
+      return std::nullopt;
+    }
+    return entry->value;
+  }
+
+ private:
+  Entry* FindInBucket(Bucket& bucket, const K& key) {
+    for (Entry* entry = bucket.head; entry != nullptr; entry = entry->next) {
+      if (entry->key == key) {
+        return entry;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Bucket> buckets_;
+  std::deque<Entry> pool_;
+  TtasSpinLock pool_lock_;
+};
+
+template <typename K, typename V, typename Lock = TtasSpinLock, typename Hash = std::hash<K>>
+class GlobalTable {
+ public:
+  explicit GlobalTable(std::size_t num_buckets = 128) : buckets_(num_buckets, nullptr) {}
+  GlobalTable(const GlobalTable&) = delete;
+  GlobalTable& operator=(const GlobalTable&) = delete;
+
+  // Runs `fn(value)` with the single global lock held for the whole call.
+  template <typename Fn>
+  void With(const K& key, Fn&& fn) {
+    std::lock_guard<Lock> guard(lock_);
+    Entry* entry = Find(key);
+    if (entry == nullptr) {
+      pool_.emplace_back();
+      entry = &pool_.back();
+      entry->key = key;
+      const std::size_t bucket = Hash{}(key) % buckets_.size();
+      entry->next = buckets_[bucket];
+      buckets_[bucket] = entry;
+    }
+    fn(entry->value);
+  }
+
+  std::optional<V> Peek(const K& key) {
+    std::lock_guard<Lock> guard(lock_);
+    Entry* entry = Find(key);
+    if (entry == nullptr) {
+      return std::nullopt;
+    }
+    return entry->value;
+  }
+
+ private:
+  struct Entry {
+    K key{};
+    V value{};
+    Entry* next = nullptr;
+  };
+
+  Entry* Find(const K& key) {
+    for (Entry* entry = buckets_[Hash{}(key) % buckets_.size()]; entry != nullptr;
+         entry = entry->next) {
+      if (entry->key == key) {
+        return entry;
+      }
+    }
+    return nullptr;
+  }
+
+  Lock lock_;
+  std::vector<Entry*> buckets_;
+  std::deque<Entry> pool_;
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_FINE_TABLE_H_

@@ -1,0 +1,298 @@
+// The hybrid coarse-grain / fine-grain locked hash table of Figure 1b.
+//
+// One coarse-grained lock (a Distributed Lock by default) protects the whole
+// table, but is held only long enough to search a chain and flip a reserve
+// word on the target entry.  The reserve word is the fine-grained lock: it is
+// set with plain stores under the coarse lock (no extra atomic read-modify-
+// write), may be held across long operations, and is cleared by its exclusive
+// holder with a single release store.  Waiters drop the coarse lock, spin on
+// the reserve word with exponential backoff, then re-acquire the coarse lock
+// and search again.
+//
+// The reserve word doubles as a reader-writer lock (Section 2.3): value 0 is
+// free, kExclusive is exclusively reserved, anything else counts readers.
+// Reader transitions happen under the coarse lock.
+//
+// Entries live in a type-stable pool (they are only ever reused as entries of
+// this table), so a waiter spinning on a freed entry's reserve word reads a
+// well-defined value -- the paper's footnote-2 requirement.
+//
+// TryAcquire* methods are the "no-spin" variants used by code running in
+// interrupt/RPC-handler context, which must fail rather than wait
+// (Section 2.3's optimistic deadlock-avoidance protocol).
+
+#ifndef HLOCK_HYBRID_TABLE_H_
+#define HLOCK_HYBRID_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/hlock/backoff.h"
+#include "src/hlock/mcs_locks.h"
+
+namespace hlock {
+
+template <typename K, typename V, typename CoarseLock = McsH2Lock, typename Hash = std::hash<K>>
+class HybridTable {
+ public:
+  static constexpr std::uint64_t kExclusive = std::numeric_limits<std::uint64_t>::max();
+
+  explicit HybridTable(std::size_t num_buckets = 128) : buckets_(num_buckets, nullptr) {}
+  HybridTable(const HybridTable&) = delete;
+  HybridTable& operator=(const HybridTable&) = delete;
+
+  // Exclusive ownership of one entry.  Movable; releases on destruction.
+  class ExclusiveGuard {
+   public:
+    ExclusiveGuard() = default;
+    ExclusiveGuard(ExclusiveGuard&& other) noexcept
+        : table_(std::exchange(other.table_, nullptr)),
+          entry_(std::exchange(other.entry_, nullptr)) {}
+    ExclusiveGuard& operator=(ExclusiveGuard&& other) noexcept {
+      Release();
+      table_ = std::exchange(other.table_, nullptr);
+      entry_ = std::exchange(other.entry_, nullptr);
+      return *this;
+    }
+    ~ExclusiveGuard() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    const K& key() const { return entry_->key; }
+    V& value() { return entry_->value; }
+    const V& value() const { return entry_->value; }
+
+    // Releases the reservation early.
+    void Release() {
+      if (entry_ != nullptr) {
+        // Exclusive clear needs no lock and no read-modify-write.
+        entry_->reserve.store(0, std::memory_order_release);
+        entry_ = nullptr;
+        table_ = nullptr;
+      }
+    }
+
+   private:
+    friend class HybridTable;
+    ExclusiveGuard(HybridTable* table, typename HybridTable::Entry* entry)
+        : table_(table), entry_(entry) {}
+    HybridTable* table_ = nullptr;
+    typename HybridTable::Entry* entry_ = nullptr;
+  };
+
+  // Shared (reader) hold of one entry.
+  class SharedGuard {
+   public:
+    SharedGuard() = default;
+    SharedGuard(SharedGuard&& other) noexcept
+        : table_(std::exchange(other.table_, nullptr)),
+          entry_(std::exchange(other.entry_, nullptr)) {}
+    SharedGuard& operator=(SharedGuard&& other) noexcept {
+      Release();
+      table_ = std::exchange(other.table_, nullptr);
+      entry_ = std::exchange(other.entry_, nullptr);
+      return *this;
+    }
+    ~SharedGuard() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    const K& key() const { return entry_->key; }
+    const V& value() const { return entry_->value; }
+
+    void Release() {
+      if (entry_ != nullptr) {
+        // Reader counts are shared state: update under the coarse lock.
+        std::lock_guard<CoarseLock> guard(table_->lock_);
+        entry_->reserve.store(entry_->reserve.load(std::memory_order_relaxed) - 1,
+                              std::memory_order_relaxed);
+        entry_ = nullptr;
+        table_ = nullptr;
+      }
+    }
+
+   private:
+    friend class HybridTable;
+    SharedGuard(HybridTable* table, typename HybridTable::Entry* entry)
+        : table_(table), entry_(entry) {}
+    HybridTable* table_ = nullptr;
+    typename HybridTable::Entry* entry_ = nullptr;
+  };
+
+  // Exclusively reserves the entry for `key`, creating it (default V) if
+  // absent.  Spins (coarse lock dropped) while the entry is reserved.
+  ExclusiveGuard Acquire(const K& key) {
+    Backoff backoff;
+    while (true) {
+      Entry* wait_target = nullptr;
+      {
+        std::lock_guard<CoarseLock> guard(lock_);
+        Entry* entry = FindLocked(key);
+        if (entry == nullptr) {
+          entry = InsertLocked(key);
+        }
+        if (entry->reserve.load(std::memory_order_relaxed) == 0) {
+          entry->reserve.store(kExclusive, std::memory_order_relaxed);
+          return ExclusiveGuard(this, entry);
+        }
+        wait_target = entry;
+      }
+      // Reserved by someone else: spin outside the coarse lock, then retry
+      // the search (the entry may have been erased and recycled meanwhile;
+      // type-stable memory keeps the spin safe).
+      while (wait_target->reserve.load(std::memory_order_acquire) != 0) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  // No-spin exclusive reserve for handler context: returns an empty guard if
+  // the entry is currently reserved.  Creates the entry if absent.
+  ExclusiveGuard TryAcquire(const K& key) {
+    std::lock_guard<CoarseLock> guard(lock_);
+    Entry* entry = FindLocked(key);
+    if (entry == nullptr) {
+      entry = InsertLocked(key);
+    }
+    if (entry->reserve.load(std::memory_order_relaxed) != 0) {
+      return ExclusiveGuard();
+    }
+    entry->reserve.store(kExclusive, std::memory_order_relaxed);
+    return ExclusiveGuard(this, entry);
+  }
+
+  // Shared (reader) reserve; spins while exclusively reserved.
+  SharedGuard AcquireShared(const K& key) {
+    Backoff backoff;
+    while (true) {
+      Entry* wait_target = nullptr;
+      {
+        std::lock_guard<CoarseLock> guard(lock_);
+        Entry* entry = FindLocked(key);
+        if (entry == nullptr) {
+          entry = InsertLocked(key);
+        }
+        const std::uint64_t state = entry->reserve.load(std::memory_order_relaxed);
+        if (state != kExclusive) {
+          entry->reserve.store(state + 1, std::memory_order_relaxed);
+          return SharedGuard(this, entry);
+        }
+        wait_target = entry;
+      }
+      while (wait_target->reserve.load(std::memory_order_acquire) == kExclusive) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  // No-spin reader reserve: empty guard if exclusively reserved or absent.
+  SharedGuard TryAcquireShared(const K& key) {
+    std::lock_guard<CoarseLock> guard(lock_);
+    Entry* entry = FindLocked(key);
+    if (entry == nullptr) {
+      return SharedGuard();
+    }
+    const std::uint64_t state = entry->reserve.load(std::memory_order_relaxed);
+    if (state == kExclusive) {
+      return SharedGuard();
+    }
+    entry->reserve.store(state + 1, std::memory_order_relaxed);
+    return SharedGuard(this, entry);
+  }
+
+  // Looks up `key` and copies its value without reserving (the whole read
+  // happens under the coarse lock -- fine for small V).
+  std::optional<V> Peek(const K& key) {
+    std::lock_guard<CoarseLock> guard(lock_);
+    Entry* entry = FindLocked(key);
+    if (entry == nullptr) {
+      return std::nullopt;
+    }
+    return entry->value;
+  }
+
+  bool Contains(const K& key) {
+    std::lock_guard<CoarseLock> guard(lock_);
+    return FindLocked(key) != nullptr;
+  }
+
+  // Erases `key` if present and unreserved.  Returns false when absent or
+  // reserved (handler semantics: the caller backs off and retries).
+  bool Erase(const K& key) {
+    std::lock_guard<CoarseLock> guard(lock_);
+    const std::size_t bucket = Hash{}(key) % buckets_.size();
+    Entry** link = &buckets_[bucket];
+    while (*link != nullptr) {
+      Entry* entry = *link;
+      if (entry->key == key) {
+        if (entry->reserve.load(std::memory_order_relaxed) != 0) {
+          return false;
+        }
+        *link = entry->next;
+        entry->next = free_list_;
+        free_list_ = entry;
+        --size_;
+        return true;
+      }
+      link = &entry->next;
+    }
+    return false;
+  }
+
+  std::size_t size() {
+    std::lock_guard<CoarseLock> guard(lock_);
+    return size_;
+  }
+
+  CoarseLock& coarse_lock() { return lock_; }
+
+ private:
+  struct Entry {
+    K key{};
+    V value{};
+    std::atomic<std::uint64_t> reserve{0};
+    Entry* next = nullptr;
+  };
+
+  Entry* FindLocked(const K& key) {
+    const std::size_t bucket = Hash{}(key) % buckets_.size();
+    for (Entry* entry = buckets_[bucket]; entry != nullptr; entry = entry->next) {
+      if (entry->key == key) {
+        return entry;
+      }
+    }
+    return nullptr;
+  }
+
+  Entry* InsertLocked(const K& key) {
+    Entry* entry;
+    if (free_list_ != nullptr) {
+      entry = free_list_;
+      free_list_ = entry->next;
+      entry->value = V{};
+    } else {
+      pool_.emplace_back();
+      entry = &pool_.back();
+    }
+    entry->key = key;
+    const std::size_t bucket = Hash{}(key) % buckets_.size();
+    entry->next = buckets_[bucket];
+    buckets_[bucket] = entry;
+    ++size_;
+    return entry;
+  }
+
+  CoarseLock lock_;
+  std::vector<Entry*> buckets_;
+  std::deque<Entry> pool_;  // type-stable entry storage
+  Entry* free_list_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_HYBRID_TABLE_H_

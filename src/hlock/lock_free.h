@@ -1,0 +1,91 @@
+// Lock-free leaf structures (Section 5.3).
+//
+// The authors planned to use "lock-free data structures for simple leaf
+// locks, particularly for data structures that are required by interrupt
+// handlers and if the data to be modified is contained in a single word".
+// These are the two shapes that sentence describes:
+//
+//   LockFreeCounter -- a single-word statistic safely updated from handler
+//   context (no lock to deadlock on).
+//
+//   LockFreeFreeList -- a Treiber stack over type-stable nodes.  It is safe
+//   against ABA *only because* the nodes come from a type-stable pool that is
+//   never returned to the allocator while the list is in use -- the same
+//   footnote-2 discipline the reserve bits rely on; the pop-side version
+//   counter closes the remaining window.
+
+#ifndef HLOCK_LOCK_FREE_H_
+#define HLOCK_LOCK_FREE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hlock {
+
+class LockFreeCounter {
+ public:
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t Read() const { return value_.load(std::memory_order_relaxed); }
+
+  // Single-word compare-and-swap update, the paper's "changes performed as a
+  // series of atomic operations on single words" pattern.
+  template <typename Fn>
+  std::int64_t Update(Fn fn) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, fn(current), std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+    return current;
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Intrusive node for LockFreeFreeList.
+struct LockFreeNode {
+  std::atomic<LockFreeNode*> next{nullptr};
+};
+
+class LockFreeFreeList {
+ public:
+  void Push(LockFreeNode* node) {
+    Head expected = head_.load(std::memory_order_relaxed);
+    Head desired;
+    do {
+      node->next.store(expected.node, std::memory_order_relaxed);
+      desired = Head{node, expected.version + 1};
+    } while (!head_.compare_exchange_weak(expected, desired, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  LockFreeNode* Pop() {
+    Head expected = head_.load(std::memory_order_acquire);
+    while (expected.node != nullptr) {
+      // Reading node->next is safe: nodes are type-stable (never freed to the
+      // allocator while the list lives), so the worst case is a stale value
+      // that the versioned CAS rejects.
+      Head desired{expected.node->next.load(std::memory_order_relaxed), expected.version + 1};
+      if (head_.compare_exchange_weak(expected, desired, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return expected.node;
+      }
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return head_.load(std::memory_order_acquire).node == nullptr; }
+
+ private:
+  struct Head {
+    LockFreeNode* node = nullptr;
+    std::uint64_t version = 0;
+  };
+  // 16-byte atomic: uses cmpxchg16b where available, a libatomic lock
+  // otherwise (still correct).
+  std::atomic<Head> head_{};
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_LOCK_FREE_H_

@@ -1,0 +1,171 @@
+// Native Distributed (MCS queue) locks: the classic algorithm and the
+// HURRICANE modifications H1 and H2, ported faithfully from Figure 3.
+//
+// HECTOR only has atomic swap, so the H-variants use the *swap-only* release:
+// a release may store nil into the tail even though a successor exists, and
+// must then repair the queue (the "usurper" protocol).  Modern hardware has
+// compare-and-swap; `McsLock` (the classic form, explicit queue node, CAS
+// release) is provided alongside so the swap-only overhead can be measured
+// (see bench/ablation_mcs_mods).
+//
+//   - McsLock:   caller-provided QNode, CAS release (Mellor-Crummey & Scott).
+//   - McsH1Lock: per-thread pre-initialized nodes (modification 1): the
+//                uncontended acquire has no node-initialization store.
+//   - McsH2Lock: H1 + release without the successor check (modification 2):
+//                the uncontended release is a single swap; contended releases
+//                always repair.
+//
+// All variants are FIFO-fair (up to usurpation windows in the swap-only
+// release) and waiters spin on their own cache line.
+
+#ifndef HLOCK_MCS_LOCKS_H_
+#define HLOCK_MCS_LOCKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/hlock/backoff.h"
+#include "src/hlock/padded.h"
+#include "src/hlock/thread_id.h"
+
+namespace hlock {
+
+// Classic MCS lock with an explicit, caller-owned queue node and CAS release.
+class McsLock {
+ public:
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  void lock(QNode& node) {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;
+    }
+    node.locked.store(true, std::memory_order_relaxed);
+    pred->next.store(&node, std::memory_order_release);
+    Backoff backoff;
+    while (node.locked.load(std::memory_order_acquire)) {
+      backoff.Pause();
+    }
+  }
+
+  void unlock(QNode& node) {
+    QNode* succ = node.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;
+      }
+      Backoff backoff;
+      while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.Pause();
+      }
+    }
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<QNode*> tail_{nullptr};
+};
+
+namespace internal {
+
+// Shared implementation of the H1/H2 variants: per-thread pre-initialized
+// nodes and the swap-only release.
+template <bool kCheckSuccessor>
+class HurricaneMcsLock {
+ public:
+  HurricaneMcsLock() {
+    for (auto& node : nodes_) {
+      node->next.store(nullptr, std::memory_order_relaxed);
+      node->locked.store(true, std::memory_order_relaxed);  // rest state: ready to wait
+    }
+  }
+  HurricaneMcsLock(const HurricaneMcsLock&) = delete;
+  HurricaneMcsLock& operator=(const HurricaneMcsLock&) = delete;
+
+  void lock() {
+    QNode& node = *nodes_[CurrentThreadId()];
+    // Modification 1: no initialization stores here; the rest-state invariant
+    // (next == nullptr, locked == true) is maintained by the contended paths.
+    QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;
+    }
+    pred->next.store(&node, std::memory_order_release);
+    Backoff backoff;
+    while (node.locked.load(std::memory_order_acquire)) {
+      backoff.Pause();
+    }
+    node.locked.store(true, std::memory_order_relaxed);  // re-initialize
+  }
+
+  void unlock() {
+    QNode& node = *nodes_[CurrentThreadId()];
+    QNode* succ = nullptr;
+    if constexpr (kCheckSuccessor) {
+      succ = node.next.load(std::memory_order_acquire);
+      if (succ != nullptr) {
+        node.next.store(nullptr, std::memory_order_relaxed);  // re-initialize
+        succ->locked.store(false, std::memory_order_release);
+        return;
+      }
+    }
+    // Modification 2 (when kCheckSuccessor is false): release with a single
+    // swap.  If someone was queued, repair.
+    QNode* old_tail = tail_.exchange(nullptr, std::memory_order_acq_rel);
+    if (old_tail == &node) {
+      return;
+    }
+    ++repairs_;
+    // A successor exists but the lock word now reads free: anyone who swapped
+    // themselves in believes they hold the lock (the usurper).  Restore the
+    // tail and splice our waiters behind the usurper chain.
+    QNode* usurper = tail_.exchange(old_tail, std::memory_order_acq_rel);
+    Backoff backoff;
+    while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
+      backoff.Pause();
+    }
+    node.next.store(nullptr, std::memory_order_relaxed);  // re-initialize
+    if (usurper != nullptr) {
+      usurper->next.store(succ, std::memory_order_release);
+    } else {
+      succ->locked.store(false, std::memory_order_release);
+    }
+  }
+
+  bool try_lock() {
+    // A Distributed Lock acquires by unconditional swap; a true try_lock
+    // needs CAS (available natively): grab only if free.
+    QNode& node = *nodes_[CurrentThreadId()];
+    QNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &node, std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // Number of contended releases that had to repair the queue.
+  std::uint64_t repairs() const { return repairs_.load(std::memory_order_relaxed); }
+
+ private:
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{true};
+  };
+
+  std::atomic<QNode*> tail_{nullptr};
+  std::atomic<std::uint64_t> repairs_{0};
+  Padded<QNode> nodes_[kMaxThreads];
+};
+
+}  // namespace internal
+
+using McsH1Lock = internal::HurricaneMcsLock<true>;
+using McsH2Lock = internal::HurricaneMcsLock<false>;
+
+}  // namespace hlock
+
+#endif  // HLOCK_MCS_LOCKS_H_

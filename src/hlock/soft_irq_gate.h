@@ -1,0 +1,92 @@
+// Software interrupt masking with a deferred-work queue (Section 3.2,
+// adapted from Stodolsky et al.).
+//
+// HURRICANE's resolution to the TryLock problem: instead of letting RPC
+// interrupt handlers gamble on TryLock, each processor keeps a flag that is
+// set before acquiring any lock an interrupt handler might need.  A handler
+// finding the flag set enqueues its work on a per-processor queue; the work
+// runs when the flag clears.  The flag and queue are strictly local in the
+// paper; here the owner thread manipulates the gate while any thread may post
+// work (the cross-processor RPC analogue), so the queue is a Vyukov-style
+// intrusive MPSC list.
+//
+// Because deferred work is executed in arrival order when the gate opens,
+// access to the processor is fair -- the property retry-based TryLock lacks.
+
+#ifndef HLOCK_SOFT_IRQ_GATE_H_
+#define HLOCK_SOFT_IRQ_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace hlock {
+
+class SoftIrqGate {
+ public:
+  SoftIrqGate();
+  ~SoftIrqGate();
+  SoftIrqGate(const SoftIrqGate&) = delete;
+  SoftIrqGate& operator=(const SoftIrqGate&) = delete;
+
+  // --- owner-thread operations -------------------------------------------------
+
+  // Closes the gate (nestable).  Call before acquiring any lock a handler
+  // could need.
+  void Enter();
+
+  // Opens one nesting level; when fully open, runs all deferred work.
+  void Exit();
+
+  // Runs pending work if the gate is open.  The owner calls this at its
+  // interrupt points (idle loops, spin loops).
+  void Poll();
+
+  bool closed() const { return depth_ > 0; }
+
+  // RAII guard for a masked region.
+  class Region {
+   public:
+    explicit Region(SoftIrqGate& gate) : gate_(gate) { gate_.Enter(); }
+    ~Region() { gate_.Exit(); }
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+
+   private:
+    SoftIrqGate& gate_;
+  };
+
+  // --- any-thread operations ----------------------------------------------------
+
+  // Posts work.  If called by the owner with the gate open, consider calling
+  // Poll() afterwards; otherwise the work runs at the owner's next Poll/Exit.
+  void Post(std::function<void()> work);
+
+  // --- statistics -----------------------------------------------------------------
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t deferred_high_water() const { return high_water_; }
+
+ private:
+  struct WorkItem {
+    std::function<void()> work;
+    std::atomic<WorkItem*> next{nullptr};
+  };
+
+  void Drain();
+
+  // Vyukov intrusive MPSC queue: producers push to head_, the single consumer
+  // pops from tail_.
+  std::atomic<WorkItem*> head_;
+  WorkItem* tail_;
+  WorkItem stub_;
+
+  int depth_ = 0;         // owner-only
+  bool draining_ = false;  // owner-only: prevents re-entrant drains
+  std::uint64_t executed_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_SOFT_IRQ_GATE_H_

@@ -1,0 +1,75 @@
+// Spin-then-block lock (Section 5.3).
+//
+// For TORNADO the authors planned to "use either lock-free data structures or
+// spin-then-block locks, depending on the situation".  This is the native
+// spin-then-block: spin briefly (covering the short-critical-section common
+// case where blocking costs more than the wait), then park on a futex-style
+// wait until the holder wakes us.  Implemented portably with a mutex +
+// condition variable slow path; the fast path is a single CAS.
+
+#ifndef HLOCK_SPIN_THEN_BLOCK_H_
+#define HLOCK_SPIN_THEN_BLOCK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/hlock/backoff.h"
+
+namespace hlock {
+
+class SpinThenBlockLock {
+ public:
+  explicit SpinThenBlockLock(std::uint32_t spin_rounds = 64) : spin_rounds_(spin_rounds) {}
+  SpinThenBlockLock(const SpinThenBlockLock&) = delete;
+  SpinThenBlockLock& operator=(const SpinThenBlockLock&) = delete;
+
+  void lock() {
+    // Phase 1: optimistic spin.
+    for (std::uint32_t i = 0; i < spin_rounds_; ++i) {
+      if (TryAcquire()) {
+        return;
+      }
+      CpuRelax();
+    }
+    // Phase 2: block.  Announce ourselves so unlock() knows to signal.
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> guard(sleep_mutex_);
+    while (!TryAcquire()) {
+      wake_cv_.wait(guard);
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() { return TryAcquire(); }
+
+  void unlock() {
+    locked_.store(false, std::memory_order_release);
+    if (waiters_.load(std::memory_order_relaxed) > 0) {
+      // Take the sleep mutex so the wakeup cannot slip between a waiter's
+      // failed TryAcquire and its wait().
+      std::lock_guard<std::mutex> guard(sleep_mutex_);
+      wake_cv_.notify_one();
+    }
+  }
+
+  std::uint32_t spin_rounds() const { return spin_rounds_; }
+
+ private:
+  bool TryAcquire() {
+    bool expected = false;
+    return locked_.compare_exchange_strong(expected, true, std::memory_order_acquire,
+                                           std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> locked_{false};
+  std::atomic<std::uint32_t> waiters_{0};
+  std::uint32_t spin_rounds_;
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_SPIN_THEN_BLOCK_H_

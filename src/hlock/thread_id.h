@@ -1,0 +1,27 @@
+// Dense thread identifiers.
+//
+// The paper's Distributed Locks pre-allocate one queue node per processor per
+// lock.  The native analogue indexes per-lock node arrays with a small dense
+// id assigned to each thread on first use.
+
+#ifndef HLOCK_THREAD_ID_H_
+#define HLOCK_THREAD_ID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hlock {
+
+// The maximum number of distinct threads that may ever touch the per-thread
+// lock structures in one process.  Generous: ids are never recycled.
+inline constexpr std::uint32_t kMaxThreads = 256;
+
+inline std::uint32_t CurrentThreadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % kMaxThreads;
+}
+
+}  // namespace hlock
+
+#endif  // HLOCK_THREAD_ID_H_

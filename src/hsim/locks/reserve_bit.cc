@@ -1,0 +1,53 @@
+#include "src/hsim/locks/reserve_bit.h"
+
+#include <algorithm>
+
+namespace hsim {
+
+Task<bool> SimReserve::TrySetExclusive(Processor& p, SimWord& word) {
+  const std::uint64_t state = co_await p.Load(word);
+  co_await p.Exec(0, 1);
+  if (state != kFree) {
+    co_return false;
+  }
+  co_await p.Store(word, kExclusive);
+  co_return true;
+}
+
+Task<bool> SimReserve::TryAddReader(Processor& p, SimWord& word) {
+  const std::uint64_t state = co_await p.Load(word);
+  co_await p.Exec(1, 1);
+  if (state == kExclusive) {
+    co_return false;
+  }
+  co_await p.Store(word, state + 1);
+  co_return true;
+}
+
+Task<void> SimReserve::RemoveReader(Processor& p, SimWord& word) {
+  const std::uint64_t state = co_await p.Load(word);
+  co_await p.Exec(1, 0);
+  co_await p.Store(word, state - 1);
+}
+
+Task<std::uint64_t> SimReserve::Read(Processor& p, SimWord& word) { return p.Load(word); }
+
+Task<void> SimReserve::ClearExclusive(Processor& p, SimWord& word) {
+  co_await p.Store(word, kFree);
+}
+
+Task<void> SimReserve::SpinUntilFree(Processor& p, SimWord& word, Tick max_backoff) {
+  Tick delay = 8;
+  while (true) {
+    const std::uint64_t state = co_await p.Load(word);
+    co_await p.Exec(0, 1);
+    if (state == kFree) {
+      co_return;
+    }
+    const Tick jittered = delay / 2 + p.rng().NextBelow(delay / 2 + 1);
+    co_await p.BackoffDelay(jittered);
+    delay = std::min(delay * 2, max_backoff);
+  }
+}
+
+}  // namespace hsim

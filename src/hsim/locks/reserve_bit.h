@@ -1,0 +1,67 @@
+// Reserve "bits": the fine-grained half of the hybrid locking strategy.
+//
+// A reserve bit is set under the protection of a coarse-grained lock using
+// ordinary loads and stores (no atomic operations), may be held for a long
+// time, and is cleared by its holder with a plain store.  Waiters release the
+// coarse lock and spin on the reserve word with exponential backoff, then
+// re-acquire the coarse lock and retry (Figure 1b).
+//
+// Depending on the data it protects a reserve word acts as an exclusive lock
+// or as a reader-writer lock (Section 2.3): value 0 means free, kExclusive
+// means exclusively reserved, any other value is a reader count.  All state
+// transitions except the exclusive holder's clear happen under the coarse
+// lock, so plain read-modify-write sequences are safe.
+//
+// NOTE: the paper co-locates the bit with other status information in one
+// word; we give the reserve state its own word so that the holder's unlocked
+// clear cannot race with locked updates of unrelated bits.  The paper's
+// type-stable-memory requirement (footnote 2) still applies and is preserved
+// by the kernel's per-type descriptor pools.
+
+#ifndef HSIM_LOCKS_RESERVE_BIT_H_
+#define HSIM_LOCKS_RESERVE_BIT_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+class SimReserve {
+ public:
+  static constexpr std::uint64_t kFree = 0;
+  static constexpr std::uint64_t kExclusive = std::numeric_limits<std::uint64_t>::max();
+
+  // --- operations that require the protecting coarse lock to be held ---
+
+  // Attempts to reserve exclusively.  Returns false if already reserved
+  // (exclusively or by readers).
+  static Task<bool> TrySetExclusive(Processor& p, SimWord& word);
+
+  // Attempts to add a reader.  Returns false if exclusively reserved.
+  static Task<bool> TryAddReader(Processor& p, SimWord& word);
+
+  // Drops a reader (also requires the coarse lock: reader counts are shared
+  // state with no atomic update primitive).
+  static Task<void> RemoveReader(Processor& p, SimWord& word);
+
+  // Reads the current state (for handlers that must fail rather than spin).
+  static Task<std::uint64_t> Read(Processor& p, SimWord& word);
+
+  // --- operations performed without the coarse lock ---
+
+  // The exclusive holder clears its reservation with a plain store.
+  static Task<void> ClearExclusive(Processor& p, SimWord& word);
+
+  // Spins (with exponential backoff capped at `max_backoff`) until the word
+  // is observed free.  The caller then re-acquires the coarse lock and
+  // re-checks; this helper alone guarantees nothing.
+  static Task<void> SpinUntilFree(Processor& p, SimWord& word, Tick max_backoff);
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_LOCKS_RESERVE_BIT_H_

@@ -1,0 +1,45 @@
+// Common interface for the simulated lock algorithms of Figure 3.
+//
+// All four algorithms (exponential-backoff spin lock, original MCS
+// Distributed Lock, and the paper's H1/H2 modifications) implement this
+// interface so that the kernel and the benchmark harnesses can be
+// parameterized over the coarse-grained lock kind.
+
+#ifndef HSIM_LOCKS_SIM_LOCK_H_
+#define HSIM_LOCKS_SIM_LOCK_H_
+
+#include <string>
+
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hsim {
+
+class SimLock {
+ public:
+  virtual ~SimLock() = default;
+
+  // Acquires the lock on behalf of processor `p`, spinning as the algorithm
+  // dictates.  Every instruction and memory access is charged to `p`.
+  virtual Task<void> Acquire(Processor& p) = 0;
+
+  // Releases the lock.  Must be called by the current holder.
+  virtual Task<void> Release(Processor& p) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Which coarse-grained lock algorithm a simulated kernel uses.
+enum class LockKind {
+  kSpin35us,   // exponential backoff capped at 35 us (the kernel's value)
+  kSpin2ms,    // exponential backoff capped at 2 ms (optimal for the stress tests)
+  kMcs,        // unmodified Mellor-Crummey & Scott
+  kMcsH1,      // MCS + modification 1 (no qnode init on the acquire path)
+  kMcsH2,      // H1 + modification 2 (no successor check in release)
+};
+
+const char* LockKindName(LockKind kind);
+
+}  // namespace hsim
+
+#endif  // HSIM_LOCKS_SIM_LOCK_H_

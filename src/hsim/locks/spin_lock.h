@@ -1,0 +1,54 @@
+// Test-and-set spin lock with exponential backoff (Figure 3c).
+//
+// acquire:  while test_and_set(L) == locked: delay; delay *= 2 (capped)
+// release:  swap(L, 0)
+//
+// HECTOR's only atomic primitive is swap, so both the test-and-set and the
+// release are atomic swaps (two memory accesses each at the lock's home
+// module).  Uncontended instruction cost matches Figure 4's "Spin" row:
+// 2 atomic, 0 memory, 1 register, 3 branch instructions per lock/unlock pair.
+//
+// Under contention every retry crosses the interconnect, which is precisely
+// the source of the second-order effects the Distributed Locks avoid.
+
+#ifndef HSIM_LOCKS_SPIN_LOCK_H_
+#define HSIM_LOCKS_SPIN_LOCK_H_
+
+#include <string>
+
+#include "src/hsim/locks/sim_lock.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+class SimSpinLock : public SimLock {
+ public:
+  // `home` is the memory module holding the lock word.  `max_backoff` caps the
+  // exponential backoff (the paper evaluates 35 us and 2 ms caps).
+  SimSpinLock(Machine* machine, ModuleId home, Tick max_backoff,
+              Tick base_backoff = kDefaultBaseBackoff);
+
+  Task<void> Acquire(Processor& p) override;
+  Task<void> Release(Processor& p) override;
+  std::string name() const override;
+
+  Tick max_backoff() const { return max_backoff_; }
+
+  // Contention statistics.
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t retries() const { return retries_; }
+
+  static constexpr Tick kDefaultBaseBackoff = 4;  // a handful of instructions
+
+ private:
+  SimWord& word_;
+  Tick max_backoff_;
+  Tick base_backoff_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_LOCKS_SPIN_LOCK_H_

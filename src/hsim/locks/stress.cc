@@ -1,0 +1,127 @@
+#include "src/hsim/locks/stress.h"
+
+#include <memory>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/spin_lock.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hsim {
+namespace {
+
+std::unique_ptr<SimLock> MakeLock(Machine* machine, LockKind kind, ModuleId home) {
+  switch (kind) {
+    case LockKind::kSpin35us:
+      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(35));
+    case LockKind::kSpin2ms:
+      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(2000));
+    case LockKind::kMcs:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kOriginal);
+    case LockKind::kMcsH1:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH1);
+    case LockKind::kMcsH2:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH2);
+  }
+  return nullptr;
+}
+
+struct Shared {
+  SimLock* lock;
+  LatencyRecorder* recorder;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t window_ops = 0;
+  Tick warm_end;
+  Tick deadline;
+  Tick hold;
+  Tick think;
+};
+
+Task<void> StressDriver(Processor* p, Shared* shared) {
+  while (p->now() < shared->deadline) {
+    const Tick t0 = p->now();
+    co_await shared->lock->Acquire(*p);
+    const Tick t1 = p->now();
+    ++shared->acquisitions;
+    if (t1 >= shared->warm_end && t1 <= shared->deadline) {
+      ++shared->window_ops;
+    }
+    if (t0 >= shared->warm_end && t1 <= shared->deadline) {
+      shared->recorder->Record(t1 - t0);
+    }
+    co_await p->Compute(shared->hold);
+    co_await shared->lock->Release(*p);
+    if (shared->think > 0) {
+      co_await p->Compute(shared->think);
+    }
+  }
+}
+
+}  // namespace
+
+LockStressResult RunLockStress(const LockStressParams& params) {
+  Engine engine;
+  Machine machine(&engine, params.machine);
+  std::unique_ptr<SimLock> lock = MakeLock(&machine, params.kind, params.lock_home);
+
+  LockStressResult result;
+  Shared shared;
+  shared.lock = lock.get();
+  shared.recorder = &result.acquire_latency;
+  shared.warm_end = params.warmup;
+  shared.deadline = params.warmup + params.duration;
+  shared.hold = params.hold;
+  shared.think = params.think;
+
+  for (std::uint32_t p = 0; p < params.processors; ++p) {
+    engine.Spawn(StressDriver(&machine.processor(p), &shared));
+  }
+  engine.RunUntilIdle();
+
+  result.acquisitions = shared.acquisitions;
+  result.window_ops = shared.window_ops;
+  result.processors = params.processors;
+  result.window = params.duration;
+  if (auto* spin = dynamic_cast<SimSpinLock*>(lock.get())) {
+    result.spin_retries = spin->retries();
+  }
+  if (auto* mcs = dynamic_cast<SimMcsLock*>(lock.get())) {
+    result.mcs_repairs = mcs->repairs();
+  }
+  const Tick end = engine.now();
+  result.lock_module_utilization =
+      end > 0 ? static_cast<double>(machine.memory(params.lock_home).total_busy()) /
+                    static_cast<double>(end)
+              : 0.0;
+  result.bus_wait = machine.total_bus_wait();
+  result.mem_wait = machine.total_memory_wait();
+  return result;
+}
+
+double UncontendedPairLatencyUs(LockKind kind, int rounds) {
+  Engine engine;
+  Machine machine(&engine, MachineConfig{});
+  // Kernel locks are rarely local to the requester: place the lock word one
+  // ring hop away from the measuring processor.
+  std::unique_ptr<SimLock> lock = MakeLock(&machine, kind, /*home=*/4);
+  Tick total = 0;
+  engine.Spawn([](Processor* p, SimLock* l, int n, Tick* out) -> Task<void> {
+    // Warm-up pair.
+    co_await l->Acquire(*p);
+    co_await l->Release(*p);
+    for (int i = 0; i < n; ++i) {
+      // Measurement-loop overhead between pairs lets in-flight store halves
+      // drain, so each pair is timed cold as the paper's numbers are.
+      co_await p->Compute(64);
+      const Tick t0 = p->now();
+      co_await l->Acquire(*p);
+      co_await l->Release(*p);
+      *out += p->now() - t0;
+    }
+  }(&machine.processor(0), lock.get(), rounds, &total));
+  engine.RunUntilIdle();
+  return TicksToUs(total) / rounds;
+}
+
+}  // namespace hsim

@@ -1,0 +1,69 @@
+// The lock stress test of Section 4.1.2 (Figure 5): p processors continuously
+// acquire and release the same lock, holding it for a configurable time.
+//
+// Processors run until a simulated deadline and the harness records only
+// acquisitions that start after the warm-up and complete before the deadline.
+// Running to a deadline (rather than for a fixed number of iterations) is
+// essential: unfair locks let lucky processors finish a fixed quota early,
+// which thins out the contention they caused and biases the mean downwards.
+
+#ifndef HSIM_LOCKS_STRESS_H_
+#define HSIM_LOCKS_STRESS_H_
+
+#include <cstdint>
+
+#include "src/hsim/locks/sim_lock.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/stats.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+struct LockStressParams {
+  LockKind kind = LockKind::kMcsH2;
+  std::uint32_t processors = 16;
+  Tick hold = 0;   // critical-section length
+  Tick think = 48; // loop/measurement overhead between release and re-acquire
+  ModuleId lock_home = 0;              // module holding the lock word
+  Tick warmup = UsToTicks(1000);       // unrecorded start-up window
+  Tick duration = UsToTicks(20000);    // recorded window after warm-up
+  MachineConfig machine;               // e.g. cache_coherent for Section 5.2
+};
+
+struct LockStressResult {
+  LatencyRecorder acquire_latency;  // response time of recorded acquisitions
+  std::uint64_t acquisitions = 0;   // total (including unrecorded)
+  std::uint64_t window_ops = 0;     // acquisitions completed inside the window
+  std::uint32_t processors = 0;
+  Tick window = 0;
+
+  // System response time by Little's law: with p processors continuously
+  // requesting, the number in system is p, so W = p / throughput.  Unlike the
+  // sample mean this is immune to unfair locks starving some processors out
+  // of the sample.
+  double little_response_us() const {
+    if (window_ops == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(processors) * TicksToUs(window) /
+           static_cast<double>(window_ops);
+  }
+  std::uint64_t spin_retries = 0;   // failed test-and-set attempts (spin locks)
+  std::uint64_t mcs_repairs = 0;    // queue repairs (Distributed Locks)
+  double lock_module_utilization = 0.0;  // busy fraction of the lock's module
+  Tick bus_wait = 0;                // aggregate queueing at station buses
+  Tick mem_wait = 0;                // aggregate queueing at memory modules
+};
+
+LockStressResult RunLockStress(const LockStressParams& params);
+
+// Uncontended lock/unlock pair latency for the Section 4.1.1 table.  The lock
+// word is placed on a remote station (kernel locks are rarely local), and the
+// pair is averaged over `rounds` iterations by a single processor, with
+// enough loop overhead between pairs that one pair's trailing store traffic
+// cannot hide the next pair's memory accesses.
+double UncontendedPairLatencyUs(LockKind kind, int rounds = 64);
+
+}  // namespace hsim
+
+#endif  // HSIM_LOCKS_STRESS_H_

@@ -1,0 +1,190 @@
+// Model of the HECTOR multiprocessor.
+//
+// HECTOR (Vranesic et al.) is a NUMA shared-memory multiprocessor without
+// hardware cache coherence: processor-memory modules share a station bus, and
+// stations are connected by a ring.  The paper's prototype is 4 stations of 4
+// modules (16 processors) with uncontended access times of 10 cycles (local,
+// on-module), 19 cycles (on-station) and 23 cycles (cross-ring), and an
+// atomic-swap primitive that costs two memory accesses, of which the
+// requesting processor only waits for the first (the MC88100 continues as
+// soon as the fetch half completes).
+//
+// Every shared word of simulated kernel memory is a SimWord homed on one
+// module.  Loads, stores and atomic swaps traverse the route between the
+// requesting processor's module and the word's home module, occupying the
+// station buses, the ring, and the target memory module.  Contention between
+// transactions therefore produces exactly the queueing behaviour whose
+// second-order effects the paper measures: processors spinning over the
+// network slow down both bystanders and the lock holder itself.
+
+#ifndef HSIM_MACHINE_H_
+#define HSIM_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/opstats.h"
+#include "src/hsim/random.h"
+#include "src/hsim/resource.h"
+#include "src/hsim/task.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+// One word of simulated shared memory, homed on a memory module.  Values are
+// held natively (the engine is single threaded); timing and ordering come
+// from routing every access through the machine's resources.
+//
+// When the machine runs in cache-coherent mode (Section 5.2's hypothetical),
+// each word also tracks which processors hold it cached: `sharers` is a
+// bitmask, `owner` the processor holding it exclusively (or kNoOwner).
+struct SimWord {
+  static constexpr std::uint32_t kNoOwner = ~0u;
+
+  std::uint64_t value = 0;
+  ModuleId home = 0;
+  std::uint32_t sharers = 0;
+  std::uint32_t owner = kNoOwner;
+};
+
+struct MachineConfig {
+  std::uint32_t stations = 4;
+  std::uint32_t modules_per_station = 4;
+
+  // Service times, chosen so that uncontended access latencies match the
+  // paper: local 10, on-station 4+10+4+1 = 19, cross-ring 2+2+2+10+2+2+2+1
+  // = 23 cycles.
+  Tick mem_service = 10;     // memory module hold per access
+  Tick bus_request = 4;      // station bus hold, request leg (on-station)
+  Tick bus_response = 4;     // station bus hold, response leg (on-station)
+  Tick ring_bus_hold = 2;    // station bus hold per leg when transiting to/from the ring
+  Tick ring_hold = 2;        // ring hold per direction
+  Tick remote_pad = 1;       // fixed interface latency for any off-module access
+  std::uint32_t atomic_accesses = 2;  // an atomic swap performs two memory accesses
+  // The store half of a remote atomic swap travels the interconnect after the
+  // processor has resumed (it only waits for the fetch half).  Modelling that
+  // trailing one-way transfer is what gives remote test-and-set spinning its
+  // outsized second-order footprint.
+  bool rmw_trailing_store_traffic = true;
+  // Section 5.2 what-if: hardware cache coherence with cache-based atomics.
+  // Loads of a shared line and stores/RMWs to an exclusively-held line cost
+  // `cache_hit_cycles` and touch no shared resource; misses and ownership
+  // transfers take the normal uncached path (plus an invalidation hold at the
+  // home module when other processors cache the line).
+  bool cache_coherent = false;
+  Tick cache_hit_cycles = 1;
+  Tick cached_rmw_cycles = 3;
+
+  std::uint32_t num_processors() const { return stations * modules_per_station; }
+};
+
+class Machine;
+
+// A simulated CPU.  All simulated code runs "on" a Processor and charges its
+// instruction and memory operations here.
+class Processor {
+ public:
+  Processor(Machine* machine, ProcId id);
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  ProcId id() const { return id_; }
+  ModuleId module() const { return id_; }  // one processor per processor-memory module
+  StationId station() const;
+
+  Machine& machine() { return *machine_; }
+  Engine& engine();
+  Tick now();
+  OpStats& stats() { return stats_; }
+  Rng& rng() { return rng_; }
+
+  // --- memory operations ----------------------------------------------------
+  Task<std::uint64_t> Load(SimWord& word);
+  Task<void> Store(SimWord& word, std::uint64_t value);
+  // A store absorbed by the processor's write buffer: the value is applied
+  // and the target module is occupied as usual, but the processor does not
+  // wait.  Only valid for words on the processor's own module (the MC88100
+  // write buffer hides local stores whose result nothing reads immediately).
+  void PostStore(SimWord& word, std::uint64_t value);
+  // Atomic swap: the only read-modify-write HECTOR supports.  Returns the old
+  // value.  Costs two memory accesses at the module; the processor resumes
+  // after the fetch half.
+  Task<std::uint64_t> FetchStore(SimWord& word, std::uint64_t value);
+  // Compare-and-swap.  Not available on HECTOR; provided for the paper's
+  // "if compare_and_swap were available" comparison points.
+  Task<bool> CompareSwap(SimWord& word, std::uint64_t expected, std::uint64_t desired);
+  // Atomic fetch-and-add; harness-level convenience (barriers, counters).
+  Task<std::uint64_t> FetchAdd(SimWord& word, std::uint64_t delta);
+
+  // --- instruction execution -------------------------------------------------
+  // Charges `reg` register-to-register instructions and `branches` branch
+  // instructions, one cycle each (single-issue MC88100).
+  Task<void> Exec(std::uint32_t reg, std::uint32_t branches);
+  // Pure time: processor is busy computing for `cycles` (no shared-memory
+  // traffic).  Used for fixed-cost kernel work.
+  Task<void> Compute(Tick cycles);
+  // Pure time with no work: backoff delay (counted as idle).
+  Task<void> BackoffDelay(Tick cycles);
+
+ private:
+  enum class AccessKind { kLoad, kStore, kSwap, kCas, kFetchAdd };
+
+  // Routes an access to `word`'s home module and applies the value operation
+  // at the module's ordering point.  Returns the value read (old value for
+  // RMW ops; for kCas the returned value is the old value and `*cas_ok`
+  // reports success).
+  Task<std::uint64_t> Access(SimWord& word, AccessKind kind, std::uint64_t operand,
+                             std::uint64_t expected, bool* cas_ok);
+
+  // The cache-coherent variant of Access (MachineConfig::cache_coherent).
+  Task<std::uint64_t> CoherentAccess(SimWord& word, AccessKind kind, std::uint64_t operand,
+                                     std::uint64_t expected, bool* cas_ok);
+
+  Machine* machine_;
+  ProcId id_;
+  OpStats stats_;
+  Rng rng_;
+};
+
+class Machine {
+ public:
+  Machine(Engine* engine, const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  Engine& engine() { return *engine_; }
+
+  std::uint32_t num_processors() const { return config_.num_processors(); }
+  Processor& processor(ProcId id) { return *processors_[id]; }
+
+  StationId station_of(ModuleId module) const { return module / config_.modules_per_station; }
+
+  Resource& memory(ModuleId module) { return *memories_[module]; }
+  Resource& bus(StationId station) { return *buses_[station]; }
+  Resource& ring() { return *ring_; }
+
+  // Allocates one word of simulated memory homed on `module`.  Words are
+  // stable in memory for the life of the Machine.
+  SimWord& AllocWord(ModuleId module, std::uint64_t initial = 0);
+
+  // Aggregate interconnect statistics (for reporting contention).
+  Tick total_bus_wait() const;
+  Tick total_memory_wait() const;
+  Tick total_ring_wait() const { return ring_->total_wait(); }
+  void ResetResourceStats();
+
+ private:
+  Engine* engine_;
+  MachineConfig config_;
+  std::vector<std::unique_ptr<Resource>> memories_;
+  std::vector<std::unique_ptr<Resource>> buses_;
+  std::unique_ptr<Resource> ring_;
+  std::vector<std::unique_ptr<Processor>> processors_;
+  std::deque<SimWord> words_;
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_MACHINE_H_

@@ -1,0 +1,40 @@
+// Per-processor operation counters.
+//
+// These mirror the categories of Figure 4 in the paper: atomic read-modify-
+// write instructions, plain memory loads/stores, single-cycle register-to-
+// register instructions, and branches.  The simulated lock algorithms charge
+// every instruction they execute to these counters, so the Figure 4 table can
+// be regenerated exactly by differencing counters around a lock/unlock pair.
+
+#ifndef HSIM_OPSTATS_H_
+#define HSIM_OPSTATS_H_
+
+#include <cstdint>
+
+namespace hsim {
+
+struct OpStats {
+  std::uint64_t atomic_ops = 0;   // atomic swap / compare-and-swap
+  std::uint64_t mem_loads = 0;    // plain loads
+  std::uint64_t mem_stores = 0;   // plain stores
+  std::uint64_t reg_instrs = 0;   // register-to-register instructions
+  std::uint64_t branches = 0;     // branches, including returns
+  std::uint64_t idle_cycles = 0;  // backoff delay cycles (no memory traffic)
+
+  std::uint64_t mem_accesses() const { return mem_loads + mem_stores; }
+
+  OpStats operator-(const OpStats& other) const {
+    OpStats d;
+    d.atomic_ops = atomic_ops - other.atomic_ops;
+    d.mem_loads = mem_loads - other.mem_loads;
+    d.mem_stores = mem_stores - other.mem_stores;
+    d.reg_instrs = reg_instrs - other.reg_instrs;
+    d.branches = branches - other.branches;
+    d.idle_cycles = idle_cycles - other.idle_cycles;
+    return d;
+  }
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_OPSTATS_H_

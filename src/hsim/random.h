@@ -1,0 +1,34 @@
+// Small deterministic PRNG (xorshift64*), one instance per simulated
+// processor, used to jitter exponential backoff.  Determinism matters: the
+// whole simulation must replay identically for a given seed.
+
+#ifndef HSIM_RANDOM_H_
+#define HSIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace hsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t Next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_RANDOM_H_

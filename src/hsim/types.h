@@ -1,0 +1,38 @@
+// Basic time and identifier types for the HECTOR discrete-event simulator.
+//
+// The simulated machine is a 16 MHz MC88100-based NUMA multiprocessor, so one
+// simulated cycle is 62.5 ns and one microsecond is exactly 16 cycles.  All
+// simulator time is kept in integral cycles ("ticks"); conversions to and from
+// microseconds are provided for reporting in the paper's units.
+
+#ifndef HSIM_TYPES_H_
+#define HSIM_TYPES_H_
+
+#include <cstdint>
+
+namespace hsim {
+
+// Simulated time, in processor cycles.
+using Tick = std::uint64_t;
+
+// Processor / memory-module / station identifiers.
+using ProcId = std::uint32_t;
+using ModuleId = std::uint32_t;
+using StationId = std::uint32_t;
+
+// Clock rate of the simulated machine (HECTOR prototype: 16 MHz MC88100).
+inline constexpr std::uint64_t kCyclesPerMicrosecond = 16;
+
+// Converts microseconds of simulated time to cycles.
+constexpr Tick UsToTicks(double microseconds) {
+  return static_cast<Tick>(microseconds * static_cast<double>(kCyclesPerMicrosecond));
+}
+
+// Converts cycles of simulated time to microseconds.
+constexpr double TicksToUs(Tick ticks) {
+  return static_cast<double>(ticks) / static_cast<double>(kCyclesPerMicrosecond);
+}
+
+}  // namespace hsim
+
+#endif  // HSIM_TYPES_H_

@@ -1,0 +1,135 @@
+// Tests for the clustered, replicated hash table (Figure 2 semantics).
+
+#include "src/hcluster/clustered_table.h"
+
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hcluster {
+namespace {
+
+// Runs `fn` as a process on worker `w` and waits for it.
+template <typename Fn>
+void RunOn(ClusterRuntime& rt, WorkerId w, Fn fn) {
+  std::atomic<bool> done{false};
+  rt.Post(w, [&] {
+    fn();
+    done = true;
+  });
+  while (!done) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ClusteredTable, GetMissingReturnsNullopt) {
+  ClusterRuntime rt(Topology{4, 2});
+  ClusteredTable<int, int> table(&rt);
+  RunOn(rt, 0, [&] { EXPECT_FALSE(table.Get(12345).has_value()); });
+}
+
+TEST(ClusteredTable, PutThenGetFromEveryCluster) {
+  ClusterRuntime rt(Topology{8, 2});
+  ClusteredTable<int, std::string> table(&rt);
+  table.Put(7, "seven");
+  for (WorkerId w = 0; w < 8; ++w) {
+    RunOn(rt, w, [&] {
+      auto v = table.Get(7);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, "seven");
+    });
+  }
+}
+
+TEST(ClusteredTable, RemoteGetReplicatesOnceThenHitsLocally) {
+  ClusterRuntime rt(Topology{8, 2});
+  ClusteredTable<int, int> table(&rt);
+  table.Put(1, 100);
+  const ClusterId home = table.home_cluster(1);
+  // Pick a worker in a different cluster.
+  const WorkerId remote = ((home + 1) % rt.topology().num_clusters()) * 2;
+  RunOn(rt, remote, [&] {
+    EXPECT_EQ(table.Get(1), 100);
+    EXPECT_EQ(table.Get(1), 100);
+    EXPECT_EQ(table.Get(1), 100);
+  });
+  EXPECT_EQ(table.replications(), 1u);
+  EXPECT_GE(table.local_hits(rt.topology().cluster_of(remote)), 2u);
+}
+
+TEST(ClusteredTable, PutUpdatesAllReplicas) {
+  ClusterRuntime rt(Topology{8, 2});
+  ClusteredTable<int, int> table(&rt);
+  table.Put(5, 1);
+  // Replicate into every cluster.
+  for (WorkerId w = 0; w < 8; w += 2) {
+    RunOn(rt, w, [&] { EXPECT_EQ(table.Get(5), 1); });
+  }
+  // Global update: every cluster must observe the new value locally.
+  table.Put(5, 2);
+  for (WorkerId w = 0; w < 8; w += 2) {
+    RunOn(rt, w, [&] { EXPECT_EQ(table.Get(5), 2); });
+  }
+}
+
+TEST(ClusteredTable, ConcurrentReadersAcrossClusters) {
+  ClusterRuntime rt(Topology{8, 2});
+  ClusteredTable<int, int> table(&rt);
+  for (int k = 0; k < 16; ++k) {
+    table.Put(k, k * 10);
+  }
+  std::atomic<int> done{0};
+  std::atomic<bool> wrong{false};
+  for (WorkerId w = 0; w < 8; ++w) {
+    rt.Post(w, [&table, &done, &wrong] {
+      for (int k = 0; k < 16; ++k) {
+        auto v = table.Get(k);
+        if (!v.has_value() || *v != k * 10) {
+          wrong = true;
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() != 8) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(wrong.load());
+}
+
+TEST(ClusteredTable, WritersAndReadersConverge) {
+  ClusterRuntime rt(Topology{4, 2});
+  ClusteredTable<int, int> table(&rt);
+  table.Put(9, 0);
+  // Prime replicas everywhere.
+  for (WorkerId w = 0; w < 4; w += 2) {
+    RunOn(rt, w, [&] { (void)table.Get(9); });
+  }
+  std::atomic<int> done{0};
+  rt.Post(0, [&] {
+    for (int i = 1; i <= 20; ++i) {
+      table.Put(9, i);
+    }
+    done.fetch_add(1);
+  });
+  rt.Post(2, [&] {
+    int last = 0;
+    for (int i = 0; i < 200; ++i) {
+      auto v = table.Get(9);
+      if (v.has_value()) {
+        // Values move forward monotonically (single writer).
+        EXPECT_GE(*v, last);
+        last = *v;
+      }
+    }
+    done.fetch_add(1);
+  });
+  while (done.load() != 2) {
+    std::this_thread::yield();
+  }
+  RunOn(rt, 2, [&] { EXPECT_EQ(table.Get(9), 20); });
+}
+
+}  // namespace
+}  // namespace hcluster

@@ -1,0 +1,179 @@
+// Tests for the optimistic deadlock-avoidance protocol (Section 2.3): remote
+// handlers fail with kWouldDeadlock instead of spinning on reserve bits, the
+// initiator retries, and the classic P1/P2 processor-resource deadlock cannot
+// occur.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/hkernel/kernel.h"
+#include "src/hkernel/workloads.h"
+#include "src/hsim/engine.h"
+#include "src/hsim/machine.h"
+
+namespace hkernel {
+namespace {
+
+struct Rig {
+  hsim::Engine engine;
+  hsim::Machine machine;
+  KernelSystem system;
+  bool stop = false;
+
+  explicit Rig(std::uint32_t cluster_size)
+      : machine(&engine, hsim::MachineConfig{}), system(&machine, [&] {
+          KernelConfig c;
+          c.cluster_size = cluster_size;
+          return c;
+        }()) {}
+
+  void IdleFrom(hsim::ProcId first) {
+    for (hsim::ProcId p = first; p < machine.num_processors(); ++p) {
+      engine.Spawn(system.IdleLoop(machine.processor(p), &stop));
+    }
+  }
+};
+
+TEST(DeadlockTest, GetPageRetriesWhileHomeDescriptorReserved) {
+  // A home-cluster processor holds the descriptor's reserve bit (mid-fault)
+  // while a remote cluster tries to replicate: the handler must refuse and
+  // the remote fault must still complete once the bit clears.
+  Rig rig(4);
+  rig.IdleFrom(0);
+  Program& prog = rig.system.CreateProgram();
+  const std::uint64_t page = KernelSystem::MakePage(0, 1);
+  int done = 0;
+
+  // Home processor faults continuously for a while, keeping the reserve bit
+  // hot.
+  rig.engine.Spawn([](Rig* r, Program* pr, std::uint64_t pg, int* counter) -> hsim::Task<void> {
+    for (int i = 0; i < 12; ++i) {
+      co_await r->system.PageFault(r->machine.processor(0), *pr, pg, nullptr);
+    }
+    if (++*counter == 2) {
+      r->stop = true;
+    }
+  }(&rig, &prog, page, &done));
+
+  FaultOutcome remote;
+  rig.engine.Spawn([](Rig* r, Program* pr, std::uint64_t pg, FaultOutcome* out,
+                      int* counter) -> hsim::Task<void> {
+    co_await r->system.PageFault(r->machine.processor(4), *pr, pg, out);
+    if (++*counter == 2) {
+      r->stop = true;
+    }
+  }(&rig, &prog, page, &remote, &done));
+
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(done, 2);
+  EXPECT_TRUE(remote.replicated);
+  // At least one kWouldDeadlock refusal happened (the home proc held the bit
+  // most of the time).
+  EXPECT_GE(rig.system.counters().rpc_would_deadlock, 1u);
+}
+
+TEST(DeadlockTest, InvalidateRetriesWhileReplicaReserved) {
+  // The unmapper broadcasts an invalidation while a processor in the replica
+  // cluster is mid-fault on that very page: the handler refuses, the
+  // unmapper retries, and both complete.
+  Rig rig(4);
+  rig.IdleFrom(0);
+  Program& prog = rig.system.CreateProgram();
+  const std::uint64_t page = KernelSystem::MakePage(0, 7);
+  bool finished = false;
+
+  // Shared countdown must outlive both coroutines (a stack local would be
+  // destroyed with whichever frame finishes first).
+  auto remaining = std::make_shared<int>(2);
+  rig.engine.Spawn([](Rig* r, Program* pr, std::uint64_t pg, bool* done,
+                      std::shared_ptr<int> rem) -> hsim::Task<void> {
+    // Establish the replica in cluster 1.
+    co_await r->system.PageFault(r->machine.processor(4), *pr, pg, nullptr);
+    // Cluster-1 processors hammer the page while the home cluster unmaps.
+    auto hammer = [](Rig* rr, Program* pp, std::uint64_t page_id, hsim::ProcId self,
+                     std::shared_ptr<int> rm) -> hsim::Task<void> {
+      for (int i = 0; i < 8; ++i) {
+        co_await rr->system.PageFault(rr->machine.processor(self), *pp, page_id, nullptr);
+      }
+      if (--*rm == 0) {
+        rr->stop = true;
+      }
+    };
+    r->engine.Spawn(hammer(r, pr, pg, 5, rem));
+    co_await r->system.UnmapGlobal(r->machine.processor(0), pg);
+    *done = true;
+    if (--*rem == 0) {
+      r->stop = true;
+    }
+  }(&rig, &prog, page, &finished, remaining));
+
+  rig.engine.RunUntilIdle();
+  EXPECT_TRUE(finished);
+}
+
+TEST(DeadlockTest, ConcurrentCrossClusterReplicationTerminates) {
+  // Every cluster replicates pages homed in every other cluster, all at once:
+  // the i-th -> i-th RPC routing means processors receive GET_PAGE requests
+  // while they are themselves blocked in CallWithRetry.  The optimistic
+  // protocol (fail + retry, service while blocked) must let all faults
+  // complete.
+  Rig rig(4);
+  rig.IdleFrom(0);  // processors must stay reachable after their driver ends
+  Program& prog = rig.system.CreateProgram();
+  int done = 0;
+  for (hsim::ProcId p = 0; p < 16; ++p) {
+    rig.engine.Spawn([](Rig* r, Program* pr, hsim::ProcId self, int* counter) -> hsim::Task<void> {
+      // Fault on a page homed in the "next" cluster, then the one after.
+      const std::uint32_t my_cluster = self / 4;
+      for (std::uint32_t hop = 1; hop < 4; ++hop) {
+        const hsim::ProcId home_proc = ((my_cluster + hop) % 4) * 4 + (self % 4);
+        co_await r->system.PageFault(r->machine.processor(self), *pr,
+                                     KernelSystem::MakePage(home_proc, 0), nullptr);
+      }
+      if (++*counter == 16) {
+        r->stop = true;
+      }
+    }(&rig, &prog, p, &done));
+  }
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(done, 16);
+  EXPECT_EQ(rig.system.counters().replications, 48u);  // 16 procs x 3 remote pages
+}
+
+TEST(DeadlockTest, SharedWorkloadWithUnmapsTerminates) {
+  // End-to-end: the full shared-fault stress (faults + barrier + global
+  // unmap) across 4 clusters terminates and keeps its books consistent.
+  FaultTestParams params;
+  params.cluster_size = 4;
+  params.active_procs = 16;
+  params.pages = 3;
+  params.iterations = 3;
+  params.warmup = 1;
+  FaultTestResult r = RunSharedFaultTest(params);
+  EXPECT_EQ(r.latency.count(), 16u * 3u * 3u);
+  EXPECT_EQ(r.counters.unmaps, 4u * 3u);  // pages x (warmup + iterations)
+  EXPECT_GT(r.counters.replications, 0u);
+}
+
+TEST(DeadlockTest, RetriesAreRareInUncontendedReplication) {
+  // Optimistic locking's premise: retries are seldom needed in the common
+  // case (Section 2.5).
+  Rig rig(4);
+  rig.IdleFrom(0);
+  Program& prog = rig.system.CreateProgram();
+  rig.engine.Spawn([](Rig* r, Program* pr) -> hsim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await r->system.PageFault(r->machine.processor(0), *pr,
+                                   KernelSystem::MakePage(/*home_proc=*/4 + (i % 4), i),
+                                   nullptr);
+    }
+    r->stop = true;
+  }(&rig, &prog));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(rig.system.counters().replications, 10u);
+  EXPECT_EQ(rig.system.counters().rpc_would_deadlock, 0u);
+}
+
+}  // namespace
+}  // namespace hkernel

@@ -1,0 +1,148 @@
+// Unit tests for the per-cluster page-descriptor hash table.
+
+#include "src/hkernel/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/locks/reserve_bit.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hkernel {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest()
+      : machine_(&engine_, hsim::MachineConfig{}),
+        table_(&machine_, {0}, /*num_bins=*/8, /*capacity=*/16) {}
+
+  // Runs a table operation synchronously on processor 0.
+  template <typename F>
+  void Run(F&& f) {
+    engine_.Spawn(f(&machine_.processor(0), &table_));
+    engine_.RunUntilIdle();
+  }
+
+  hsim::Engine engine_;
+  hsim::Machine machine_;
+  PageHashTable table_;
+};
+
+TEST_F(PageTableTest, LookupMissesOnEmptyTable) {
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    EXPECT_EQ(co_await t->Lookup(*p, 42), kNilDesc);
+  });
+}
+
+TEST_F(PageTableTest, InsertThenLookupHits) {
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    DescRef ref = co_await t->Insert(*p, 42);
+    EXPECT_NE(ref, kNilDesc);
+    EXPECT_EQ(co_await t->Lookup(*p, 42), ref);
+    EXPECT_EQ(t->desc(ref).page->value, 42u);
+  });
+  EXPECT_EQ(table_.live(), 1u);
+}
+
+TEST_F(PageTableTest, ManyKeysWithChainCollisions) {
+  // 12 keys in 8 bins force chains; all must be found.
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    for (std::uint64_t k = 100; k < 112; ++k) {
+      EXPECT_NE(co_await t->Insert(*p, k), kNilDesc);
+    }
+    for (std::uint64_t k = 100; k < 112; ++k) {
+      EXPECT_NE(co_await t->Lookup(*p, k), kNilDesc) << "key " << k;
+    }
+    EXPECT_EQ(co_await t->Lookup(*p, 99), kNilDesc);
+    EXPECT_EQ(co_await t->Lookup(*p, 112), kNilDesc);
+  });
+  EXPECT_EQ(table_.live(), 12u);
+}
+
+TEST_F(PageTableTest, RemoveUnlinksFromChainMiddleAndHead) {
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    for (std::uint64_t k = 0; k < 12; ++k) {
+      co_await t->Insert(*p, 200 + k);
+    }
+    // Remove half, in mixed order.
+    for (std::uint64_t k : {3, 0, 11, 7, 5, 9}) {
+      EXPECT_TRUE(co_await t->Remove(*p, 200 + k));
+    }
+    for (std::uint64_t k = 0; k < 12; ++k) {
+      const bool removed = (k == 3 || k == 0 || k == 11 || k == 7 || k == 5 || k == 9);
+      EXPECT_EQ(co_await t->Lookup(*p, 200 + k) == kNilDesc, removed) << "key " << k;
+    }
+  });
+  EXPECT_EQ(table_.live(), 6u);
+}
+
+TEST_F(PageTableTest, RemoveMissingReturnsFalse) {
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    co_await t->Insert(*p, 1);
+    EXPECT_FALSE(co_await t->Remove(*p, 2));
+    EXPECT_TRUE(co_await t->Remove(*p, 1));
+    EXPECT_FALSE(co_await t->Remove(*p, 1));
+  });
+}
+
+TEST_F(PageTableTest, PoolIsTypeStableAcrossReuse) {
+  // Freed descriptors are reused for descriptors only, and the reserve word
+  // is left in a defined state -- a late spinner never observes garbage.
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    DescRef a = co_await t->Insert(*p, 7);
+    hsim::SimWord* reserve = t->desc(a).reserve;
+    EXPECT_TRUE(co_await t->Remove(*p, 7));
+    // Fill the pool; the freed slot must be handed out again.
+    bool reused = false;
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      DescRef r = co_await t->Insert(*p, 1000 + k);
+      if (r == a) {
+        reused = true;
+        EXPECT_EQ(t->desc(r).reserve, reserve);
+      }
+    }
+    EXPECT_TRUE(reused);
+    EXPECT_EQ(reserve->value, hsim::SimReserve::kFree);
+  });
+}
+
+TEST_F(PageTableTest, PoolExhaustionReturnsNil) {
+  Run([](hsim::Processor* p, PageHashTable* t) -> hsim::Task<void> {
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      EXPECT_NE(co_await t->Insert(*p, k), kNilDesc);
+    }
+    EXPECT_EQ(co_await t->Insert(*p, 99), kNilDesc);
+    // Freeing one slot makes insertion possible again.
+    EXPECT_TRUE(co_await t->Remove(*p, 5));
+    EXPECT_NE(co_await t->Insert(*p, 99), kNilDesc);
+  });
+}
+
+TEST_F(PageTableTest, LookupCostGrowsWithChainLength) {
+  // The table walks simulated memory: longer chains must take longer, which
+  // is exactly what bounds how long the coarse lock is held.
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  PageHashTable small(&machine, {0}, /*num_bins=*/1, /*capacity=*/32);  // one chain
+  hsim::Tick first = 0;
+  hsim::Tick last = 0;
+  engine.Spawn([](hsim::Processor* p, PageHashTable* t, hsim::Tick* f,
+                  hsim::Tick* l) -> hsim::Task<void> {
+    for (std::uint64_t k = 0; k < 16; ++k) {
+      co_await t->Insert(*p, k);
+    }
+    hsim::Tick t0 = p->now();
+    co_await t->Lookup(*p, 15);  // head of the chain (inserted last)
+    *f = p->now() - t0;
+    t0 = p->now();
+    co_await t->Lookup(*p, 0);  // tail of the chain
+    *l = p->now() - t0;
+  }(&machine.processor(0), &small, &first, &last));
+  engine.RunUntilIdle();
+  EXPECT_GT(last, first * 5);
+}
+
+}  // namespace
+}  // namespace hkernel

@@ -1,0 +1,195 @@
+// Tests for program/process management and the Section 2.5 lessons: the
+// family tree through process descriptors, parallel program destruction with
+// its retries, message passing's interaction with the combined design, and
+// the separate-tree alternative that avoids the retries.
+
+#include "src/hkernel/process.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/machine.h"
+
+namespace hkernel {
+namespace {
+
+struct Rig {
+  hsim::Engine engine;
+  hsim::Machine machine;
+  KernelSystem system;
+  ProcessManager pm;
+  bool stop = false;
+
+  Rig(std::uint32_t cluster_size, TreePolicy policy)
+      : machine(&engine, hsim::MachineConfig{}),
+        system(&machine,
+               [&] {
+                 KernelConfig c;
+                 c.cluster_size = cluster_size;
+                 return c;
+               }()),
+        pm(&system, policy) {
+    for (hsim::ProcId p = 0; p < machine.num_processors(); ++p) {
+      engine.Spawn(system.IdleLoop(machine.processor(p), &stop));
+    }
+  }
+};
+
+TEST(ProcessTable, InsertLookupRemove) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  ProcessTable table(&machine, 0, 32);
+  engine.Spawn([](hsim::Processor* p, ProcessTable* t) -> hsim::Task<void> {
+    const Pid a = ProcessManager::MakePid(0, 1);
+    const Pid b = ProcessManager::MakePid(0, 2);
+    const std::uint32_t ra = co_await t->Insert(*p, a);
+    const std::uint32_t rb = co_await t->Insert(*p, b);
+    EXPECT_NE(ra, 0u);
+    EXPECT_NE(rb, 0u);
+    EXPECT_EQ(co_await t->Lookup(*p, a), ra);
+    EXPECT_EQ(co_await t->Lookup(*p, b), rb);
+    EXPECT_EQ(co_await t->Lookup(*p, ProcessManager::MakePid(0, 3)), 0u);
+    co_await t->Remove(*p, ra);
+    EXPECT_EQ(co_await t->Lookup(*p, a), 0u);
+    EXPECT_EQ(co_await t->Lookup(*p, b), rb);  // tombstone keeps the chain intact
+  }(&machine.processor(0), &table));
+  engine.RunUntilIdle();
+  EXPECT_EQ(table.live(), 1u);
+}
+
+TEST(ProcessManager, CreateDestroyLocalFamily) {
+  Rig rig(4, TreePolicy::kCombined);
+  rig.engine.Spawn([](Rig* r) -> hsim::Task<void> {
+    hsim::Processor& p = r->machine.processor(0);
+    const Pid root = co_await r->pm.Create(p, 0, kNoPid);
+    const Pid c1 = co_await r->pm.Create(p, 0, root);
+    const Pid c2 = co_await r->pm.Create(p, 0, root);
+    EXPECT_NE(root, kNoPid);
+    EXPECT_NE(c1, c2);
+    EXPECT_EQ(r->pm.live(0), 3u);
+    co_await r->pm.Destroy(p, c1);
+    co_await r->pm.Destroy(p, c2);
+    co_await r->pm.Destroy(p, root);
+    EXPECT_EQ(r->pm.live(0), 0u);
+    r->stop = true;
+  }(&rig));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(rig.pm.stats().creates, 3u);
+  EXPECT_EQ(rig.pm.stats().destroys, 3u);
+}
+
+TEST(ProcessManager, CrossClusterChildLinksToRemoteParent) {
+  Rig rig(4, TreePolicy::kCombined);
+  rig.engine.Spawn([](Rig* r) -> hsim::Task<void> {
+    // Root in cluster 0; child created in cluster 1 links to it by RPC.
+    const Pid root = co_await r->pm.Create(r->machine.processor(0), 0, kNoPid);
+    const Pid child = co_await r->pm.Create(r->machine.processor(4), 4, root);
+    EXPECT_EQ(r->pm.live(0), 1u);
+    EXPECT_EQ(r->pm.live(1), 1u);
+    // Destroying the child unlinks it from the remote parent.
+    co_await r->pm.Destroy(r->machine.processor(4), child);
+    EXPECT_EQ(r->pm.live(1), 0u);
+    co_await r->pm.Destroy(r->machine.processor(0), root);
+    r->stop = true;
+  }(&rig));
+  rig.engine.RunUntilIdle();
+}
+
+TEST(ProcessManager, MessagesAccumulateInMailbox) {
+  Rig rig(4, TreePolicy::kCombined);
+  rig.engine.Spawn([](Rig* r) -> hsim::Task<void> {
+    const Pid target = co_await r->pm.Create(r->machine.processor(0), 0, kNoPid);
+    // Local and remote senders.
+    EXPECT_TRUE(co_await r->pm.SendMessage(r->machine.processor(1), target));
+    EXPECT_TRUE(co_await r->pm.SendMessage(r->machine.processor(4), target));
+    EXPECT_TRUE(co_await r->pm.SendMessage(r->machine.processor(8), target));
+    EXPECT_EQ(co_await r->pm.ReadMailbox(r->machine.processor(0), target), 3u);
+    r->stop = true;
+  }(&rig));
+  rig.engine.RunUntilIdle();
+}
+
+TEST(ProcessManager, SendToDeadProcessFails) {
+  Rig rig(4, TreePolicy::kCombined);
+  rig.engine.Spawn([](Rig* r) -> hsim::Task<void> {
+    const Pid target = co_await r->pm.Create(r->machine.processor(0), 0, kNoPid);
+    co_await r->pm.Destroy(r->machine.processor(0), target);
+    EXPECT_FALSE(co_await r->pm.SendMessage(r->machine.processor(4), target));
+    r->stop = true;
+  }(&rig));
+  rig.engine.RunUntilIdle();
+}
+
+// The Section 2.5 scenario: a program with children spread across clusters is
+// destroyed all at once while messages still flow to the root.
+template <TreePolicy kPolicy>
+ProcessManager::Stats RunParallelDestruction() {
+  Rig rig(4, kPolicy);
+  struct Shared {
+    Pid root = kNoPid;
+    std::vector<Pid> children;
+    int destroyed = 0;
+    bool messaging_done = false;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  rig.engine.Spawn([](Rig* r, std::shared_ptr<Shared> s) -> hsim::Task<void> {
+    hsim::Processor& p0 = r->machine.processor(0);
+    s->root = co_await r->pm.Create(p0, 0, kNoPid);
+    // One child per processor, spread across all 4 clusters.
+    for (hsim::ProcId proc = 0; proc < 16; ++proc) {
+      const Pid child = co_await r->pm.Create(r->machine.processor(proc), proc, s->root);
+      s->children.push_back(child);
+    }
+    // Each child sends the root a few last messages (the combined design's
+    // poison: these reserve the root's descriptor) and then dies -- all 16 at
+    // about the same time.  The flows are sequential per processor, so no
+    // RPCs are in flight when the last destroyer stops the run.
+    for (hsim::ProcId proc = 0; proc < 16; ++proc) {
+      r->engine.Spawn([](Rig* rr, std::shared_ptr<Shared> ss,
+                         hsim::ProcId self) -> hsim::Task<void> {
+        for (int i = 0; i < 6; ++i) {
+          co_await rr->pm.SendMessage(rr->machine.processor(self), ss->root);
+        }
+        co_await rr->pm.Destroy(rr->machine.processor(self), ss->children[self]);
+        if (++ss->destroyed == 16) {
+          co_await rr->pm.Destroy(rr->machine.processor(0), ss->root);
+          rr->stop = true;
+        }
+      }(r, s, proc));
+    }
+  }(&rig, shared));
+  rig.engine.RunUntilIdle();
+
+  EXPECT_EQ(shared->destroyed, 16);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(rig.pm.live(c), 0u) << "cluster " << c;
+  }
+  return rig.pm.stats();
+}
+
+TEST(ProcessManager, ParallelDestructionCombinedRetries) {
+  const ProcessManager::Stats stats = RunParallelDestruction<TreePolicy::kCombined>();
+  EXPECT_EQ(stats.destroys, 17u);
+  // The paper's observation: with tree links inside the message-passing
+  // descriptors, simultaneous destruction retries are common.
+  EXPECT_GT(stats.unlink_retries, 0u);
+}
+
+TEST(ProcessManager, ParallelDestructionSeparateTreeAvoidsRetries) {
+  const ProcessManager::Stats stats = RunParallelDestruction<TreePolicy::kSeparateTree>();
+  EXPECT_EQ(stats.destroys, 17u);
+  // The design lesson: a separate tree structure with tree-order locking
+  // never needs to fail a remote unlink.
+  EXPECT_EQ(stats.unlink_retries, 0u);
+}
+
+TEST(ProcessManager, Deterministic) {
+  const ProcessManager::Stats a = RunParallelDestruction<TreePolicy::kCombined>();
+  const ProcessManager::Stats b = RunParallelDestruction<TreePolicy::kCombined>();
+  EXPECT_EQ(a.unlink_retries, b.unlink_retries);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace hkernel

@@ -1,0 +1,105 @@
+// Parameterized sweep over the kernel configuration space: both deadlock
+// protocols x several cluster sizes x both coarse-lock families, each run
+// through a small shared-fault workload, checking the invariants that must
+// hold regardless of configuration, plus protocol-specific expectations.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/hkernel/workloads.h"
+
+namespace hkernel {
+namespace {
+
+using Param = std::tuple<DeadlockProtocol, std::uint32_t /*cluster size*/, hsim::LockKind>;
+
+class KernelConfigSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(KernelConfigSweep, SharedWorkloadInvariants) {
+  const auto [protocol, cluster_size, lock_kind] = GetParam();
+  FaultTestParams params;
+  params.protocol = protocol;
+  params.cluster_size = cluster_size;
+  params.lock_kind = lock_kind;
+  params.active_procs = 8;
+  params.pages = 2;
+  params.iterations = 2;
+  params.warmup = 1;
+  const FaultTestResult r = RunSharedFaultTest(params);
+
+  // Every fault of every measured round completed and was recorded.
+  EXPECT_EQ(r.latency.count(), 8u * 2u * 2u);
+  // Every round unmapped every page.
+  EXPECT_EQ(r.counters.unmaps, 2u * 3u);
+  // Faults are never cheaper than the uncontended reference.
+  EXPECT_GT(r.latency.min(), hsim::UsToTicks(100));
+  // Only the optimistic protocol's reserved shell can combine, so only the
+  // pessimistic protocol can produce redundant fetches.
+  if (protocol == DeadlockProtocol::kOptimistic) {
+    EXPECT_EQ(r.counters.redundant_rpcs, 0u);
+  }
+  // Multi-cluster runs replicate; single-cluster runs never RPC.
+  const std::uint32_t clusters = (8 + cluster_size - 1) / cluster_size;
+  if (clusters > 1) {
+    EXPECT_GT(r.counters.replications, 0u);
+  } else {
+    EXPECT_EQ(r.counters.rpcs, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelConfigSweep,
+    ::testing::Combine(::testing::Values(DeadlockProtocol::kOptimistic,
+                                         DeadlockProtocol::kPessimistic),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(hsim::LockKind::kMcsH2, hsim::LockKind::kSpin35us)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name =
+          std::get<0>(info.param) == DeadlockProtocol::kOptimistic ? "opt" : "pess";
+      name += "_cs" + std::to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) == hsim::LockKind::kMcsH2 ? "_dl" : "_spin";
+      return name;
+    });
+
+TEST(PessimisticProtocol, BurstsProduceRedundantFetches) {
+  // Four processors of one cluster fault on the same remote page at once.
+  // The optimistic shell combines them into one fetch; the pessimistic
+  // protocol cannot, so at least one redundant fetch happens.
+  for (DeadlockProtocol protocol :
+       {DeadlockProtocol::kOptimistic, DeadlockProtocol::kPessimistic}) {
+    hsim::Engine engine;
+    hsim::Machine machine(&engine, hsim::MachineConfig{});
+    KernelConfig config;
+    config.cluster_size = 4;
+    config.protocol = protocol;
+    KernelSystem system(&machine, config);
+    bool stop = false;
+    for (hsim::ProcId p = 4; p < machine.num_processors(); ++p) {
+      engine.Spawn(system.IdleLoop(machine.processor(p), &stop));
+    }
+    Program& prog = system.CreateProgram();
+    int done = 0;
+    for (hsim::ProcId p = 0; p < 4; ++p) {
+      engine.Spawn([](KernelSystem* sys, Program* pr, hsim::Processor* proc, int* counter,
+                      bool* stop_flag) -> hsim::Task<void> {
+        co_await sys->PageFault(*proc, *pr, KernelSystem::MakePage(/*home_proc=*/5, 1),
+                                nullptr);
+        if (++*counter == 4) {
+          *stop_flag = true;
+        }
+      }(&system, &prog, &machine.processor(p), &done, &stop));
+    }
+    engine.RunUntilIdle();
+    EXPECT_EQ(done, 4);
+    if (protocol == DeadlockProtocol::kOptimistic) {
+      EXPECT_EQ(system.counters().replications, 1u);
+      EXPECT_EQ(system.counters().redundant_rpcs, 0u);
+    } else {
+      EXPECT_GE(system.counters().redundant_rpcs, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hkernel

@@ -1,0 +1,161 @@
+// Tests for the RPC layer: routing, latency, the software interrupt gate,
+// deferred work, and the processor-as-resource property (serving incoming
+// requests while blocked on an outgoing call).
+
+#include "src/hkernel/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hkernel/kernel.h"
+#include "src/hkernel/workloads.h"
+#include "src/hsim/engine.h"
+#include "src/hsim/machine.h"
+
+namespace hkernel {
+namespace {
+
+struct Rig {
+  hsim::Engine engine;
+  hsim::Machine machine;
+  KernelSystem system;
+  bool stop = false;
+
+  explicit Rig(std::uint32_t cluster_size = 4)
+      : machine(&engine, hsim::MachineConfig{}),
+        system(&machine, [cluster_size] {
+          KernelConfig c;
+          c.cluster_size = cluster_size;
+          return c;
+        }()) {}
+
+  void IdleAllExcept(std::initializer_list<hsim::ProcId> busy) {
+    for (hsim::ProcId p = 0; p < machine.num_processors(); ++p) {
+      bool is_busy = false;
+      for (hsim::ProcId b : busy) {
+        is_busy |= (b == p);
+      }
+      if (!is_busy) {
+        engine.Spawn(system.IdleLoop(machine.processor(p), &stop));
+      }
+    }
+  }
+};
+
+TEST(RpcTest, PeerRoutingIsIthToIth) {
+  Rig rig(4);
+  // Processor 6 is the 2nd processor of cluster 1; its peer in cluster 3 is
+  // the 2nd processor of cluster 3.
+  EXPECT_EQ(rig.system.PeerOf(6, 3), 14u);
+  EXPECT_EQ(rig.system.PeerOf(6, 0), 2u);
+  EXPECT_EQ(rig.system.PeerOf(0, 1), 4u);
+}
+
+TEST(RpcTest, NullRpcRoundTripNearPaperValue) {
+  Rig rig(4);
+  rig.IdleAllExcept({0});
+  double us = 0;
+  rig.engine.Spawn([](Rig* r, double* out) -> hsim::Task<void> {
+    const hsim::Tick t0 = r->machine.processor(0).now();
+    for (int i = 0; i < 8; ++i) {
+      co_await r->system.NullRpc(r->machine.processor(0), 1);
+    }
+    *out = hsim::TicksToUs(r->machine.processor(0).now() - t0) / 8;
+    r->stop = true;
+  }(&rig, &us));
+  rig.engine.RunUntilIdle();
+  // Paper: ~27 us.
+  EXPECT_GT(us, 20.0);
+  EXPECT_LT(us, 34.0);
+}
+
+TEST(RpcTest, MaskDefersWorkUntilUnmask) {
+  Rig rig(4);
+  CpuKernel& target = rig.system.cpu(4);
+  hsim::Processor& tp = rig.machine.processor(4);
+
+  RpcRequest request;
+  request.op = RpcOp::kNull;
+  target.Mask();
+  target.Deliver(&request);
+  // An interrupt point with the gate closed defers the work.
+  rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
+    co_await k->IrqPoint(*p);
+  }(&target, &tp));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(request.status, RpcStatus::kPending);
+  EXPECT_EQ(target.deferred_count(), 1u);
+  EXPECT_EQ(target.handled(), 0u);
+
+  // Opening the gate and polling runs the deferred handler.
+  target.Unmask();
+  rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
+    co_await k->IrqPoint(*p);
+  }(&target, &tp));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(request.status, RpcStatus::kOk);
+  EXPECT_EQ(target.handled(), 1u);
+}
+
+TEST(RpcTest, IrqBatchBoundsWorkPerPoint) {
+  Rig rig(4);
+  CpuKernel& target = rig.system.cpu(4);
+  hsim::Processor& tp = rig.machine.processor(4);
+  RpcRequest requests[5];
+  for (auto& r : requests) {
+    r.op = RpcOp::kNull;
+    target.Deliver(&r);
+  }
+  rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
+    co_await k->IrqPoint(*p);
+  }(&target, &tp));
+  rig.engine.RunUntilIdle();
+  // Only irq_batch (2) requests are serviced per interrupt point: the
+  // interrupted kernel path must be able to make progress under a storm.
+  EXPECT_EQ(target.handled(), 2u);
+}
+
+TEST(RpcTest, CrossCallingProcessorsDoNotDeadlock) {
+  // P0 (cluster 0) and P4 (cluster 1) call each other at the same time.  Both
+  // service their inbox while waiting for their own reply: the processor is a
+  // lockable resource and refusing to serve while blocked is the deadlock of
+  // Section 2.3.
+  Rig rig(4);
+  rig.IdleAllExcept({0, 4});
+  int done = 0;
+  auto call = [](Rig* r, hsim::ProcId self, std::uint32_t target_cluster,
+                 int* counter) -> hsim::Task<void> {
+    co_await r->system.NullRpc(r->machine.processor(self), target_cluster);
+    if (++*counter == 2) {
+      r->stop = true;
+    }
+  };
+  rig.engine.Spawn(call(&rig, 0, 1, &done));
+  rig.engine.Spawn(call(&rig, 4, 0, &done));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(RpcTest, RpcToBusyProcessorWaitsForInterruptPoint) {
+  // The target computes without interrupt points for a while; the RPC is
+  // delayed accordingly but not lost.
+  Rig rig(4);
+  rig.IdleAllExcept({0, 4});
+  hsim::Tick reply_at = 0;
+  constexpr hsim::Tick kBusy = 4000;
+  rig.engine.Spawn([](Rig* r) -> hsim::Task<void> {
+    // P4 is deaf for kBusy cycles, then starts polling.
+    hsim::Processor& p = r->machine.processor(4);
+    co_await p.Compute(kBusy);
+    co_await r->system.IdleLoop(p, &r->stop);
+  }(&rig));
+  rig.engine.Spawn([](Rig* r, hsim::Tick* out) -> hsim::Task<void> {
+    co_await r->system.NullRpc(r->machine.processor(0), 1);
+    *out = r->machine.processor(0).now();
+    r->stop = true;
+  }(&rig, &reply_at));
+  rig.engine.RunUntilIdle();
+  EXPECT_GE(reply_at, kBusy);
+}
+
+}  // namespace
+}  // namespace hkernel

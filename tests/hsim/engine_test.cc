@@ -1,0 +1,98 @@
+// Unit tests for the discrete-event engine: time ordering, determinism, and
+// run-until semantics.
+
+#include "src/hsim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hsim/task.h"
+
+namespace hsim {
+namespace {
+
+Task<void> RecordAt(Engine* engine, std::vector<std::pair<Tick, int>>* log, Tick at, int id) {
+  co_await engine->WaitUntil(at);
+  log->emplace_back(engine->now(), id);
+}
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<std::pair<Tick, int>> log;
+  engine.Spawn(RecordAt(&engine, &log, 30, 3));
+  engine.Spawn(RecordAt(&engine, &log, 10, 1));
+  engine.Spawn(RecordAt(&engine, &log, 20, 2));
+  engine.RunUntilIdle();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<Tick, int>{10, 1}));
+  EXPECT_EQ(log[1], (std::pair<Tick, int>{20, 2}));
+  EXPECT_EQ(log[2], (std::pair<Tick, int>{30, 3}));
+}
+
+TEST(EngineTest, TiesResolveInSpawnOrder) {
+  Engine engine;
+  std::vector<std::pair<Tick, int>> log;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn(RecordAt(&engine, &log, 7, i));
+  }
+  engine.RunUntilIdle();
+  ASSERT_EQ(log.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log[i].second, i);
+  }
+}
+
+Task<void> Ticker(Engine* engine, int* count, int n, Tick step) {
+  for (int i = 0; i < n; ++i) {
+    co_await engine->Delay(step);
+    ++*count;
+  }
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int count = 0;
+  engine.Spawn(Ticker(&engine, &count, 10, 5));
+  EXPECT_FALSE(engine.RunUntil(24));  // events remain
+  EXPECT_EQ(count, 4);                // ticks at 5,10,15,20
+  EXPECT_EQ(engine.now(), 24u);
+  engine.RunUntilIdle();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(engine.now(), 50u);
+}
+
+TEST(EngineTest, PastDeadlinesDoNotSuspend) {
+  Engine engine;
+  int count = 0;
+  engine.Spawn(Ticker(&engine, &count, 3, 0));  // Delay(0) is ready immediately
+  engine.RunUntilIdle();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST(EngineTest, LiveTaskAccounting) {
+  Engine engine;
+  int count = 0;
+  engine.Spawn(Ticker(&engine, &count, 2, 10));
+  engine.Spawn(Ticker(&engine, &count, 2, 10));
+  EXPECT_EQ(engine.live_tasks(), 2u);
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.live_tasks(), 0u);
+}
+
+TEST(EngineTest, DeterministicReplay) {
+  auto run = [] {
+    Engine engine;
+    std::vector<std::pair<Tick, int>> log;
+    for (int i = 0; i < 8; ++i) {
+      engine.Spawn(RecordAt(&engine, &log, (i * 37) % 11, i));
+    }
+    engine.RunUntilIdle();
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,105 @@
+// Unit tests for reservation-based FIFO resources.
+
+#include "src/hsim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hsim/engine.h"
+#include "src/hsim/task.h"
+
+namespace hsim {
+namespace {
+
+Task<void> UseAt(Engine* engine, Resource* res, Tick at, Tick hold, std::vector<Tick>* done) {
+  co_await engine->WaitUntil(at);
+  co_await res->Use(hold);
+  done->push_back(engine->now());
+}
+
+TEST(ResourceTest, UncontendedUseTakesHoldTime) {
+  Engine engine;
+  Resource res(&engine, "r");
+  std::vector<Tick> done;
+  engine.Spawn(UseAt(&engine, &res, 5, 10, &done));
+  engine.RunUntilIdle();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 15u);
+  EXPECT_EQ(res.total_wait(), 0u);
+  EXPECT_EQ(res.total_busy(), 10u);
+}
+
+TEST(ResourceTest, ContendingUsersAreServedFifo) {
+  Engine engine;
+  Resource res(&engine, "r");
+  std::vector<Tick> done;
+  // Three transactions arrive at t=0 (spawn order breaks the tie).
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.RunUntilIdle();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 10u);
+  EXPECT_EQ(done[1], 20u);
+  EXPECT_EQ(done[2], 30u);
+  EXPECT_EQ(res.total_wait(), 0u + 10u + 20u);
+}
+
+TEST(ResourceTest, LateArrivalQueuesBehindBusyServer) {
+  Engine engine;
+  Resource res(&engine, "r");
+  std::vector<Tick> done;
+  engine.Spawn(UseAt(&engine, &res, 0, 100, &done));
+  engine.Spawn(UseAt(&engine, &res, 50, 10, &done));
+  engine.RunUntilIdle();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 100u);
+  EXPECT_EQ(done[1], 110u);  // waited 50, served 10
+  EXPECT_EQ(res.total_wait(), 50u);
+}
+
+TEST(ResourceTest, IdleGapsDoNotAccumulate) {
+  Engine engine;
+  Resource res(&engine, "r");
+  std::vector<Tick> done;
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.Spawn(UseAt(&engine, &res, 100, 10, &done));
+  engine.RunUntilIdle();
+  EXPECT_EQ(done[1], 110u);  // server was idle from 10 to 100
+}
+
+Task<void> OverlappedUser(Engine* engine, Resource* res, Tick visible, Tick hold, Tick* resumed) {
+  co_await res->UseOverlapped(visible, hold);
+  *resumed = engine->now();
+}
+
+TEST(ResourceTest, OverlappedUseResumesEarlyButHoldsServer) {
+  Engine engine;
+  Resource res(&engine, "r");
+  Tick resumed = 0;
+  std::vector<Tick> done;
+  engine.Spawn(OverlappedUser(&engine, &res, 10, 20, &resumed));
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.RunUntilIdle();
+  EXPECT_EQ(resumed, 10u);  // caller resumes after the visible part
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 30u);  // but the server stays busy through tick 20
+}
+
+TEST(ResourceTest, StatsReset) {
+  Engine engine;
+  Resource res(&engine, "r");
+  std::vector<Tick> done;
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.Spawn(UseAt(&engine, &res, 0, 10, &done));
+  engine.RunUntilIdle();
+  EXPECT_GT(res.transactions(), 0u);
+  res.ResetStats();
+  EXPECT_EQ(res.transactions(), 0u);
+  EXPECT_EQ(res.total_busy(), 0u);
+  EXPECT_EQ(res.total_wait(), 0u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,124 @@
+// Tests for the Figure 5 stress harness and the Section 4.1.1 latency
+// relationships the paper reports.
+
+#include "src/hsim/locks/stress.h"
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+TEST(UncontendedLatency, PaperRelationshipsHold) {
+  const double mcs = UncontendedPairLatencyUs(LockKind::kMcs);
+  const double h1 = UncontendedPairLatencyUs(LockKind::kMcsH1);
+  const double h2 = UncontendedPairLatencyUs(LockKind::kMcsH2);
+  const double spin = UncontendedPairLatencyUs(LockKind::kSpin35us);
+  // Each modification strictly improves the uncontended pair.
+  EXPECT_LT(h1, mcs);
+  EXPECT_LT(h2, h1);
+  // H2 lands close to the spin lock (paper: 3.69 vs 3.65 us).
+  EXPECT_LT(h2, spin * 1.15);
+  // The combined improvement is substantial (paper: 32%).
+  EXPECT_GT((mcs - h2) / mcs, 0.15);
+}
+
+TEST(LockStress, SingleProcessorIsUncontended) {
+  LockStressParams params;
+  params.kind = LockKind::kMcsH2;
+  params.processors = 1;
+  params.duration = UsToTicks(4000);
+  const LockStressResult r = RunLockStress(params);
+  EXPECT_GT(r.window_ops, 100u);
+  EXPECT_EQ(r.mcs_repairs, 0u);
+  // Acquire latency is a few microseconds at most.
+  EXPECT_LT(r.acquire_latency.mean_us(), 5.0);
+}
+
+TEST(LockStress, ResponseGrowsWithProcessors) {
+  auto run = [](std::uint32_t p) {
+    LockStressParams params;
+    params.kind = LockKind::kMcs;
+    params.processors = p;
+    params.hold = UsToTicks(25);
+    params.duration = UsToTicks(15000);
+    return RunLockStress(params).little_response_us();
+  };
+  const double w2 = run(2);
+  const double w8 = run(8);
+  // FIFO queueing: roughly linear in p (paper Figure 5b).
+  EXPECT_GT(w8, w2 * 2.5);
+}
+
+TEST(LockStress, H1DoesNotDegradeTheContendedCase) {
+  // Paper: "the first modification ... does not degrade performance in the
+  // case of contention".
+  auto run = [](LockKind kind) {
+    LockStressParams params;
+    params.kind = kind;
+    params.processors = 8;
+    params.hold = 0;
+    params.duration = UsToTicks(10000);
+    return RunLockStress(params).little_response_us();
+  };
+  EXPECT_LT(run(LockKind::kMcsH1), run(LockKind::kMcs) * 1.25);
+}
+
+TEST(LockStress, H2PaysARepairPerContendedRelease) {
+  LockStressParams params;
+  params.kind = LockKind::kMcsH2;
+  params.processors = 8;
+  params.hold = 0;
+  params.duration = UsToTicks(10000);
+  const LockStressResult r = RunLockStress(params);
+  // Under saturation, nearly every release has a successor and must repair.
+  EXPECT_GT(static_cast<double>(r.mcs_repairs),
+            0.5 * static_cast<double>(r.acquisitions));
+}
+
+TEST(LockStress, SpinWithSmallCapMeltsDownAtHighContention) {
+  auto run = [](LockKind kind) {
+    LockStressParams params;
+    params.kind = kind;
+    params.processors = 16;
+    params.hold = 0;
+    params.duration = UsToTicks(10000);
+    return RunLockStress(params);
+  };
+  const LockStressResult spin = run(LockKind::kSpin35us);
+  const LockStressResult mcs = run(LockKind::kMcs);
+  EXPECT_GT(spin.little_response_us(), mcs.little_response_us() * 2.0);
+  // The meltdown mechanism: the lock's memory module saturates.
+  EXPECT_GT(spin.lock_module_utilization, 0.9);
+  EXPECT_GT(spin.spin_retries, spin.acquisitions);
+}
+
+TEST(LockStress, Spin2msIsCompetitiveOnAverage) {
+  // Paper: with a 2 ms cap the spin lock is competitive with the Distributed
+  // Locks (memory contention becomes negligible).
+  auto run = [](LockKind kind) {
+    LockStressParams params;
+    params.kind = kind;
+    params.processors = 16;
+    params.hold = 0;
+    params.duration = UsToTicks(10000);
+    return RunLockStress(params);
+  };
+  const LockStressResult spin = run(LockKind::kSpin2ms);
+  const LockStressResult h2 = run(LockKind::kMcsH2);
+  EXPECT_LT(spin.little_response_us(), h2.little_response_us() * 1.5);
+  EXPECT_LT(spin.lock_module_utilization, 0.95);
+}
+
+TEST(LockStress, Deterministic) {
+  LockStressParams params;
+  params.kind = LockKind::kSpin35us;
+  params.processors = 6;
+  params.duration = UsToTicks(5000);
+  const LockStressResult a = RunLockStress(params);
+  const LockStressResult b = RunLockStress(params);
+  EXPECT_EQ(a.window_ops, b.window_ops);
+  EXPECT_EQ(a.acquire_latency.samples(), b.acquire_latency.samples());
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,95 @@
+// Unit tests for the coroutine Task type.
+
+#include "src/hsim/task.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "src/hsim/engine.h"
+
+namespace hsim {
+namespace {
+
+Task<int> ReturnValue(int v) { co_return v; }
+
+Task<int> AddNested(int a, int b) {
+  int x = co_await ReturnValue(a);
+  int y = co_await ReturnValue(b);
+  co_return x + y;
+}
+
+Task<void> SetFlag(bool* flag) {
+  *flag = true;
+  co_return;
+}
+
+Task<int> Throws() {
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable
+}
+
+Task<void> Driver(int* out) { *out = co_await AddNested(2, 3); }
+
+TEST(TaskTest, NestedTasksPropagateValues) {
+  Engine engine;
+  int result = 0;
+  engine.Spawn(Driver(&result));
+  engine.RunUntilIdle();
+  EXPECT_EQ(result, 5);
+}
+
+TEST(TaskTest, SpawnRunsEagerlyUntilFirstSuspend) {
+  Engine engine;
+  bool flag = false;
+  engine.Spawn(SetFlag(&flag));
+  // SetFlag never awaits an engine awaitable, so it finishes inline.
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(engine.live_tasks(), 0u);
+}
+
+Task<void> CatchesException(bool* caught) {
+  try {
+    co_await Throws();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(TaskTest, ExceptionsPropagateToAwaiter) {
+  Engine engine;
+  bool caught = false;
+  engine.Spawn(CatchesException(&caught));
+  engine.RunUntilIdle();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskTest, UnawaitedTaskIsDestroyedWithoutRunning) {
+  bool flag = false;
+  {
+    Task<void> t = SetFlag(&flag);
+    EXPECT_TRUE(t.valid());
+    // Dropped without being awaited.
+  }
+  EXPECT_FALSE(flag);
+}
+
+Task<void> DelayedSet(Engine* engine, bool* flag, Tick at) {
+  co_await engine->WaitUntil(at);
+  *flag = true;
+}
+
+TEST(TaskTest, MoveAssignReleasesOldFrame) {
+  Engine engine;
+  bool a = false;
+  bool b = false;
+  Task<void> t = DelayedSet(&engine, &a, 10);
+  t = DelayedSet(&engine, &b, 10);  // first frame destroyed, never runs
+  engine.Spawn(std::move(t));
+  engine.RunUntilIdle();
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace hsim
