@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mcs_mods.dir/ablation_mcs_mods.cc.o"
+  "CMakeFiles/ablation_mcs_mods.dir/ablation_mcs_mods.cc.o.d"
+  "ablation_mcs_mods"
+  "ablation_mcs_mods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mcs_mods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

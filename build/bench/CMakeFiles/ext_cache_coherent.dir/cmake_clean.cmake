@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_coherent.dir/ext_cache_coherent.cc.o"
+  "CMakeFiles/ext_cache_coherent.dir/ext_cache_coherent.cc.o.d"
+  "ext_cache_coherent"
+  "ext_cache_coherent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_coherent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

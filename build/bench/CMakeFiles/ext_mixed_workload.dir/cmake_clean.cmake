@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_workload.dir/ext_mixed_workload.cc.o"
+  "CMakeFiles/ext_mixed_workload.dir/ext_mixed_workload.cc.o.d"
+  "ext_mixed_workload"
+  "ext_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

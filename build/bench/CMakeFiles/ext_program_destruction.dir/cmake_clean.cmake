@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_program_destruction.dir/ext_program_destruction.cc.o"
+  "CMakeFiles/ext_program_destruction.dir/ext_program_destruction.cc.o.d"
+  "ext_program_destruction"
+  "ext_program_destruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_program_destruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_program_destruction.
+# This may be replaced when dependencies are built.

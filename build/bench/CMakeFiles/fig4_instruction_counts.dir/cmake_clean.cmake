@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_instruction_counts.dir/fig4_instruction_counts.cc.o"
+  "CMakeFiles/fig4_instruction_counts.dir/fig4_instruction_counts.cc.o.d"
+  "fig4_instruction_counts"
+  "fig4_instruction_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_instruction_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lock_contention.dir/fig5_lock_contention.cc.o"
+  "CMakeFiles/fig5_lock_contention.dir/fig5_lock_contention.cc.o.d"
+  "fig5_lock_contention"
+  "fig5_lock_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lock_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

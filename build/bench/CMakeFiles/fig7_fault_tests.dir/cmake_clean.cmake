@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fault_tests.dir/fig7_fault_tests.cc.o"
+  "CMakeFiles/fig7_fault_tests.dir/fig7_fault_tests.cc.o.d"
+  "fig7_fault_tests"
+  "fig7_fault_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

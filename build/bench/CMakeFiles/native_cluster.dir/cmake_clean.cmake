@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_cluster.dir/native_cluster.cc.o"
+  "CMakeFiles/native_cluster.dir/native_cluster.cc.o.d"
+  "native_cluster"
+  "native_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

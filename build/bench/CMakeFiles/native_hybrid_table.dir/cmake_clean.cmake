@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_hybrid_table.dir/native_hybrid_table.cc.o"
+  "CMakeFiles/native_hybrid_table.dir/native_hybrid_table.cc.o.d"
+  "native_hybrid_table"
+  "native_hybrid_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_hybrid_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

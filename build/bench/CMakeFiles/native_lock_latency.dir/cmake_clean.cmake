@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_lock_latency.dir/native_lock_latency.cc.o"
+  "CMakeFiles/native_lock_latency.dir/native_lock_latency.cc.o.d"
+  "native_lock_latency"
+  "native_lock_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_lock_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec411_uncontended_latency.dir/sec411_uncontended_latency.cc.o"
+  "CMakeFiles/sec411_uncontended_latency.dir/sec411_uncontended_latency.cc.o.d"
+  "sec411_uncontended_latency"
+  "sec411_uncontended_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec411_uncontended_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustered_kv.dir/clustered_kv.cpp.o"
+  "CMakeFiles/clustered_kv.dir/clustered_kv.cpp.o.d"
+  "clustered_kv"
+  "clustered_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustered_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

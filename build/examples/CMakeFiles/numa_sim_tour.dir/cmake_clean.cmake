@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_sim_tour.dir/numa_sim_tour.cpp.o"
+  "CMakeFiles/numa_sim_tour.dir/numa_sim_tour.cpp.o.d"
+  "numa_sim_tour"
+  "numa_sim_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_sim_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

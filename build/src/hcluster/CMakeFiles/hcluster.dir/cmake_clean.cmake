@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcluster.dir/runtime.cc.o"
+  "CMakeFiles/hcluster.dir/runtime.cc.o.d"
+  "libhcluster.a"
+  "libhcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hkernel/kernel.cc" "src/hkernel/CMakeFiles/hkernel.dir/kernel.cc.o" "gcc" "src/hkernel/CMakeFiles/hkernel.dir/kernel.cc.o.d"
+  "/root/repo/src/hkernel/page_table.cc" "src/hkernel/CMakeFiles/hkernel.dir/page_table.cc.o" "gcc" "src/hkernel/CMakeFiles/hkernel.dir/page_table.cc.o.d"
+  "/root/repo/src/hkernel/process.cc" "src/hkernel/CMakeFiles/hkernel.dir/process.cc.o" "gcc" "src/hkernel/CMakeFiles/hkernel.dir/process.cc.o.d"
+  "/root/repo/src/hkernel/rpc.cc" "src/hkernel/CMakeFiles/hkernel.dir/rpc.cc.o" "gcc" "src/hkernel/CMakeFiles/hkernel.dir/rpc.cc.o.d"
+  "/root/repo/src/hkernel/workloads.cc" "src/hkernel/CMakeFiles/hkernel.dir/workloads.cc.o" "gcc" "src/hkernel/CMakeFiles/hkernel.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsim/CMakeFiles/hsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hkernel.dir/kernel.cc.o"
+  "CMakeFiles/hkernel.dir/kernel.cc.o.d"
+  "CMakeFiles/hkernel.dir/page_table.cc.o"
+  "CMakeFiles/hkernel.dir/page_table.cc.o.d"
+  "CMakeFiles/hkernel.dir/process.cc.o"
+  "CMakeFiles/hkernel.dir/process.cc.o.d"
+  "CMakeFiles/hkernel.dir/rpc.cc.o"
+  "CMakeFiles/hkernel.dir/rpc.cc.o.d"
+  "CMakeFiles/hkernel.dir/workloads.cc.o"
+  "CMakeFiles/hkernel.dir/workloads.cc.o.d"
+  "libhkernel.a"
+  "libhkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

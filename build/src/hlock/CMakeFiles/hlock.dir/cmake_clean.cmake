@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock.dir/mcs_try_lock.cc.o"
+  "CMakeFiles/hlock.dir/mcs_try_lock.cc.o.d"
+  "CMakeFiles/hlock.dir/soft_irq_gate.cc.o"
+  "CMakeFiles/hlock.dir/soft_irq_gate.cc.o.d"
+  "libhlock.a"
+  "libhlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsim/engine.cc" "src/hsim/CMakeFiles/hsim.dir/engine.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/engine.cc.o.d"
+  "/root/repo/src/hsim/locks/mcs_lock.cc" "src/hsim/CMakeFiles/hsim.dir/locks/mcs_lock.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/locks/mcs_lock.cc.o.d"
+  "/root/repo/src/hsim/locks/reserve_bit.cc" "src/hsim/CMakeFiles/hsim.dir/locks/reserve_bit.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/locks/reserve_bit.cc.o.d"
+  "/root/repo/src/hsim/locks/spin_lock.cc" "src/hsim/CMakeFiles/hsim.dir/locks/spin_lock.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/locks/spin_lock.cc.o.d"
+  "/root/repo/src/hsim/locks/stress.cc" "src/hsim/CMakeFiles/hsim.dir/locks/stress.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/locks/stress.cc.o.d"
+  "/root/repo/src/hsim/machine.cc" "src/hsim/CMakeFiles/hsim.dir/machine.cc.o" "gcc" "src/hsim/CMakeFiles/hsim.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

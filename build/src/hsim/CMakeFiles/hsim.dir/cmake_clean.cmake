@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim.dir/engine.cc.o"
+  "CMakeFiles/hsim.dir/engine.cc.o.d"
+  "CMakeFiles/hsim.dir/locks/mcs_lock.cc.o"
+  "CMakeFiles/hsim.dir/locks/mcs_lock.cc.o.d"
+  "CMakeFiles/hsim.dir/locks/reserve_bit.cc.o"
+  "CMakeFiles/hsim.dir/locks/reserve_bit.cc.o.d"
+  "CMakeFiles/hsim.dir/locks/spin_lock.cc.o"
+  "CMakeFiles/hsim.dir/locks/spin_lock.cc.o.d"
+  "CMakeFiles/hsim.dir/locks/stress.cc.o"
+  "CMakeFiles/hsim.dir/locks/stress.cc.o.d"
+  "CMakeFiles/hsim.dir/machine.cc.o"
+  "CMakeFiles/hsim.dir/machine.cc.o.d"
+  "libhsim.a"
+  "libhsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcluster_tests.dir/hcluster/clustered_table_test.cc.o"
+  "CMakeFiles/hcluster_tests.dir/hcluster/clustered_table_test.cc.o.d"
+  "CMakeFiles/hcluster_tests.dir/hcluster/runtime_test.cc.o"
+  "CMakeFiles/hcluster_tests.dir/hcluster/runtime_test.cc.o.d"
+  "hcluster_tests"
+  "hcluster_tests.pdb"
+  "hcluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hkernel/deadlock_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/deadlock_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/deadlock_test.cc.o.d"
+  "/root/repo/tests/hkernel/kernel_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/kernel_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/kernel_test.cc.o.d"
+  "/root/repo/tests/hkernel/page_table_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/page_table_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/page_table_test.cc.o.d"
+  "/root/repo/tests/hkernel/process_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/process_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/process_test.cc.o.d"
+  "/root/repo/tests/hkernel/protocol_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/protocol_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/protocol_test.cc.o.d"
+  "/root/repo/tests/hkernel/rpc_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/rpc_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/rpc_test.cc.o.d"
+  "/root/repo/tests/hkernel/workloads_test.cc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/workloads_test.cc.o" "gcc" "tests/CMakeFiles/hkernel_tests.dir/hkernel/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hkernel/CMakeFiles/hkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsim/CMakeFiles/hsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

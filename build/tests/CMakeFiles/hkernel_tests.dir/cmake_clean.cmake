@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hkernel_tests.dir/hkernel/deadlock_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/deadlock_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/kernel_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/kernel_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/page_table_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/page_table_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/process_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/process_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/protocol_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/protocol_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/rpc_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/rpc_test.cc.o.d"
+  "CMakeFiles/hkernel_tests.dir/hkernel/workloads_test.cc.o"
+  "CMakeFiles/hkernel_tests.dir/hkernel/workloads_test.cc.o.d"
+  "hkernel_tests"
+  "hkernel_tests.pdb"
+  "hkernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hkernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

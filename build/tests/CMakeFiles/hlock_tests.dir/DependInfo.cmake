@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hlock/future_work_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/future_work_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/future_work_test.cc.o.d"
+  "/root/repo/tests/hlock/hybrid_table_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/hybrid_table_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/hybrid_table_test.cc.o.d"
+  "/root/repo/tests/hlock/locks_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/locks_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/locks_test.cc.o.d"
+  "/root/repo/tests/hlock/soft_irq_gate_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/soft_irq_gate_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/soft_irq_gate_test.cc.o.d"
+  "/root/repo/tests/hlock/try_lock_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/try_lock_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/try_lock_test.cc.o.d"
+  "/root/repo/tests/hlock/typed_lock_test.cc" "tests/CMakeFiles/hlock_tests.dir/hlock/typed_lock_test.cc.o" "gcc" "tests/CMakeFiles/hlock_tests.dir/hlock/typed_lock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlock/CMakeFiles/hlock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

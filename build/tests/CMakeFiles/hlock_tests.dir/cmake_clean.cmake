@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_tests.dir/hlock/future_work_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/future_work_test.cc.o.d"
+  "CMakeFiles/hlock_tests.dir/hlock/hybrid_table_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/hybrid_table_test.cc.o.d"
+  "CMakeFiles/hlock_tests.dir/hlock/locks_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/locks_test.cc.o.d"
+  "CMakeFiles/hlock_tests.dir/hlock/soft_irq_gate_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/soft_irq_gate_test.cc.o.d"
+  "CMakeFiles/hlock_tests.dir/hlock/try_lock_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/try_lock_test.cc.o.d"
+  "CMakeFiles/hlock_tests.dir/hlock/typed_lock_test.cc.o"
+  "CMakeFiles/hlock_tests.dir/hlock/typed_lock_test.cc.o.d"
+  "hlock_tests"
+  "hlock_tests.pdb"
+  "hlock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hsim/coherent_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/coherent_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/coherent_test.cc.o.d"
+  "/root/repo/tests/hsim/engine_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/engine_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/engine_test.cc.o.d"
+  "/root/repo/tests/hsim/lock_property_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/lock_property_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/lock_property_test.cc.o.d"
+  "/root/repo/tests/hsim/machine_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/machine_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/machine_test.cc.o.d"
+  "/root/repo/tests/hsim/resource_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/resource_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/resource_test.cc.o.d"
+  "/root/repo/tests/hsim/sim_locks_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/sim_locks_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/sim_locks_test.cc.o.d"
+  "/root/repo/tests/hsim/stress_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/stress_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/stress_test.cc.o.d"
+  "/root/repo/tests/hsim/task_test.cc" "tests/CMakeFiles/hsim_tests.dir/hsim/task_test.cc.o" "gcc" "tests/CMakeFiles/hsim_tests.dir/hsim/task_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsim/CMakeFiles/hsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsim_tests.dir/hsim/coherent_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/coherent_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/engine_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/engine_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/lock_property_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/lock_property_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/machine_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/machine_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/resource_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/resource_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/sim_locks_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/sim_locks_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/stress_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/stress_test.cc.o.d"
+  "CMakeFiles/hsim_tests.dir/hsim/task_test.cc.o"
+  "CMakeFiles/hsim_tests.dir/hsim/task_test.cc.o.d"
+  "hsim_tests"
+  "hsim_tests.pdb"
+  "hsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
