@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "src/hmetrics/bench_main.h"
 #include "src/hsim/locks/stress.h"
 
 namespace {
@@ -21,6 +22,8 @@ namespace {
 using hsim::LockKind;
 using hsim::LockStressParams;
 using hsim::MachineConfig;
+
+bool g_smoke = false;
 
 double Pair(LockKind kind, bool coherent) {
   // UncontendedPairLatencyUs builds its own machine; replicate it here with a
@@ -31,7 +34,7 @@ double Pair(LockKind kind, bool coherent) {
   params.hold = 0;
   params.think = 64;
   params.machine.cache_coherent = coherent;
-  params.duration = hsim::UsToTicks(4000);
+  params.duration = hsim::UsToTicks(g_smoke ? 1000 : 4000);
   const auto r = hsim::RunLockStress(params);
   // little_response ~ acquire+hold+release+think per op; subtract the think.
   return r.little_response_us() - hsim::TicksToUs(64);
@@ -43,13 +46,17 @@ double Contended(LockKind kind, bool coherent, unsigned p) {
   params.processors = p;
   params.hold = 0;
   params.machine.cache_coherent = coherent;
-  params.duration = hsim::UsToTicks(12000);
+  params.duration = hsim::UsToTicks(g_smoke ? 2000 : 12000);
   return hsim::RunLockStress(params).little_response_us();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  g_smoke = opts.smoke;
+  hmetrics::BenchReport report("ext_cache_coherent");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
   printf("Extension: the Section 5.2 what-if -- cache coherence + cached atomics\n\n");
 
   printf("Uncontended lock+unlock cycle (us, loop overhead removed):\n");
@@ -57,7 +64,11 @@ int main() {
   for (auto [kind, name] : {std::pair{LockKind::kSpin35us, "spin"},
                             {LockKind::kMcs, "mcs"},
                             {LockKind::kMcsH2, "h2-mcs"}}) {
-    printf("%-10s %12.2f %12.2f\n", name, Pair(kind, false), Pair(kind, true));
+    const double uncached = Pair(kind, false);
+    const double coherent = Pair(kind, true);
+    printf("%-10s %12.2f %12.2f\n", name, uncached, coherent);
+    report.AddSeries("uncontended_pair_us", {{"lock", name}})
+        .AddPoint({{"uncached_us", uncached}, {"coherent_us", coherent}});
   }
   printf("(prediction 1: cached atomics make the uncontended pair nearly free,\n"
          " eroding -- as the paper anticipated -- part of the hybrid strategy's\n"
@@ -72,9 +83,13 @@ int main() {
   for (auto [kind, name] : {std::pair{LockKind::kSpin35us, "spin-35us"},
                             {LockKind::kMcs, "mcs"},
                             {LockKind::kMcsH2, "h2-mcs"}}) {
+    hmetrics::BenchSeries& out =
+        report.AddSeries("coherent_response_us", {{"lock", name}});
     printf("%-10s", name);
     for (unsigned p : {2u, 4u, 8u, 16u}) {
-      printf("%10.1f", Contended(kind, true, p));
+      const double w = Contended(kind, true, p);
+      printf("%10.1f", w);
+      out.AddPoint({{"p", static_cast<double>(p)}, {"w_us", w}});
     }
     printf("\n");
   }
@@ -82,5 +97,5 @@ int main() {
          " advantage shows; as contention rises its line ping-pong lets the\n"
          " queue locks take over -- hierarchical clustering to bound contention\n"
          " 'should prove to be even more beneficial' there, Section 5.3)\n");
-  return 0;
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

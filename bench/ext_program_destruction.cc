@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/hkernel/process.h"
+#include "src/hmetrics/bench_main.h"
 #include "src/hsim/engine.h"
 #include "src/hsim/machine.h"
 
@@ -97,18 +98,28 @@ Result Run(TreePolicy policy, std::uint32_t cluster_size, int messages_per_child
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report("ext_program_destruction");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
+  const int messages_per_child = opts.smoke ? 2 : 6;
+  report.SetParam("messages_per_child", messages_per_child);
   printf("Extension: parallel program destruction (Section 2.5), 17 processes,\n");
   printf("children messaging the root while the whole program is torn down.\n\n");
   printf("%-14s %8s %14s %12s %10s\n", "tree design", "csize", "teardown(us)", "unlink-rtr",
          "messages");
   for (std::uint32_t cs : {2u, 4u, 8u}) {
     for (TreePolicy policy : {TreePolicy::kCombined, TreePolicy::kSeparateTree}) {
-      const Result r = Run(policy, cs, /*messages_per_child=*/6);
-      printf("%-14s %8u %14.0f %12llu %10llu\n",
-             policy == TreePolicy::kCombined ? "combined" : "separate-tree", cs, r.teardown_us,
+      const Result r = Run(policy, cs, messages_per_child);
+      const char* design = policy == TreePolicy::kCombined ? "combined" : "separate-tree";
+      printf("%-14s %8u %14.0f %12llu %10llu\n", design, cs, r.teardown_us,
              static_cast<unsigned long long>(r.stats.unlink_retries),
              static_cast<unsigned long long>(r.stats.messages));
+      report.AddSeries("teardown", {{"design", design}})
+          .AddPoint({{"cluster_size", static_cast<double>(cs)},
+                     {"teardown_us", r.teardown_us},
+                     {"unlink_retries", static_cast<double>(r.stats.unlink_retries)},
+                     {"messages", static_cast<double>(r.stats.messages)}});
     }
   }
   printf("\nReading: with the family tree inside the message-passing descriptors\n"
@@ -116,5 +127,5 @@ int main() {
          "parents and retrying across clusters.  A dedicated tree structure with\n"
          "tree-order locking (what Section 2.5 concludes they should have built)\n"
          "eliminates the retries and shortens the teardown.\n");
-  return 0;
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

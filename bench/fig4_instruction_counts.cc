@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/hmetrics/bench_main.h"
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
 #include "src/hsim/locks/spin_lock.h"
@@ -61,7 +62,10 @@ hsim::OpStats CountPair(LockKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report("fig4_instruction_counts");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
   printf("Figure 4: instruction counts for an uncontended lock/unlock pair\n");
   printf("(regenerated from simulator instrumentation; paper values in parentheses)\n\n");
   printf("%-8s %14s %14s %14s %14s\n", "", "Atomic", "Mem", "Reg", "Br");
@@ -81,13 +85,24 @@ int main() {
     const hsim::OpStats d = CountPair(row.kind);
     const std::uint64_t measured[4] = {d.atomic_ops, d.mem_accesses(), d.reg_instrs, d.branches};
     printf("%-8s", row.name);
+    bool row_match = true;
     for (int i = 0; i < 4; ++i) {
       printf("      %4llu (%d)", static_cast<unsigned long long>(measured[i]), row.paper[i]);
-      all_match &= measured[i] == static_cast<std::uint64_t>(row.paper[i]);
+      row_match &= measured[i] == static_cast<std::uint64_t>(row.paper[i]);
     }
+    all_match &= row_match;
     printf("\n");
+    report.AddSeries("instruction_counts", {{"lock", row.name}})
+        .AddPoint({{"atomic", static_cast<double>(measured[0])},
+                   {"mem", static_cast<double>(measured[1])},
+                   {"reg", static_cast<double>(measured[2])},
+                   {"br", static_cast<double>(measured[3])},
+                   {"matches_paper", row_match ? 1.0 : 0.0}});
   }
   printf("\n%s\n", all_match ? "All rows match the paper exactly."
                              : "MISMATCH against the paper's table!");
+  if (!hmetrics::WriteReport(opts, report)) {
+    return 1;
+  }
   return all_match ? 0 : 1;
 }

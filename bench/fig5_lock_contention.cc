@@ -17,6 +17,7 @@
 
 #include <cstdio>
 
+#include "src/hmetrics/bench_main.h"
 #include "src/hsim/locks/stress.h"
 
 namespace {
@@ -39,7 +40,9 @@ const Series kSeries[] = {
 
 const unsigned kProcs[] = {1, 2, 4, 8, 12, 16};
 
-void RunPanel(Tick hold, const char* title) {
+void RunPanel(Tick hold, const char* title, const hmetrics::BenchOptions& opts,
+              hmetrics::BenchReport* report) {
+  const double hold_us = hsim::TicksToUs(hold);
   printf("%s\n", title);
   printf("%-10s", "lock \\ p");
   for (unsigned p : kProcs) {
@@ -47,15 +50,22 @@ void RunPanel(Tick hold, const char* title) {
   }
   printf("\n");
   for (const Series& series : kSeries) {
+    hmetrics::BenchSeries& out = report->AddSeries(
+        "response_us", {{"lock", series.name},
+                        {"hold_us", hold_us > 0 ? "25" : "0"}});
     printf("%-10s", series.name);
     for (unsigned p : kProcs) {
       LockStressParams params;
       params.kind = series.kind;
       params.processors = p;
       params.hold = hold;
-      params.duration = hsim::UsToTicks(hold > 0 ? 20000 : 10000);
+      const unsigned window_us = hold > 0 ? 20000 : 10000;
+      params.duration = hsim::UsToTicks(opts.smoke ? window_us / 10 : window_us);
       const LockStressResult r = hsim::RunLockStress(params);
       printf("%10.1f", r.little_response_us());
+      out.AddPoint({{"p", static_cast<double>(p)},
+                    {"w_us", r.little_response_us()},
+                    {"mean_us", r.acquire_latency.mean_us()}});
     }
     printf("\n");
   }
@@ -64,10 +74,14 @@ void RunPanel(Tick hold, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report("fig5_lock_contention");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
+
   printf("Figure 5: lock response time under contention (us, Little's-law W)\n\n");
-  RunPanel(0, "Figure 5a: lock held 0 us");
-  RunPanel(hsim::UsToTicks(25), "Figure 5b: lock held 25 us");
+  RunPanel(0, "Figure 5a: lock held 0 us", opts, &report);
+  RunPanel(hsim::UsToTicks(25), "Figure 5b: lock held 25 us", opts, &report);
 
   // Starvation under the 2 ms backoff cap (paper: >13%% of acquisitions took
   // over 2 ms at p=16, hold=25 us).
@@ -75,7 +89,7 @@ int main() {
   params.kind = LockKind::kSpin2ms;
   params.processors = 16;
   params.hold = hsim::UsToTicks(25);
-  params.duration = hsim::UsToTicks(100000);
+  params.duration = hsim::UsToTicks(opts.smoke ? 10000 : 100000);
   const LockStressResult r = hsim::RunLockStress(params);
   printf("spin-2ms starvation at p=16, hold=25us:\n");
   printf("  fraction of completed acquisitions > 2 ms: %.1f%% (paper: >13%%)\n",
@@ -86,5 +100,31 @@ int main() {
          r.acquire_latency.mean_us(), r.little_response_us());
   printf("  (completed-sample statistics understate starvation: the starved\n"
          "   processors' acquisitions rarely complete inside the window)\n");
-  return 0;
+  report.AddSeries("starvation", {{"lock", "spin-2ms"}})
+      .AddPoint({{"p", 16},
+                 {"hold_us", 25},
+                 {"frac_over_2ms", r.acquire_latency.fraction_above(hsim::UsToTicks(2000))},
+                 {"worst_us", hsim::TicksToUs(r.acquire_latency.max())},
+                 {"mean_us", r.acquire_latency.mean_us()},
+                 {"w_us", r.little_response_us()}});
+
+  if (!opts.trace_path.empty()) {
+    // A short traced run of the contended H2-MCS case: lock-acquire spans and
+    // release instants for every processor, openable in Perfetto.
+    hmetrics::TraceSession trace(hmetrics::kTraceLocks);
+    LockStressParams tp;
+    tp.kind = LockKind::kMcsH2;
+    tp.processors = 4;
+    tp.hold = hsim::UsToTicks(25);
+    tp.warmup = hsim::UsToTicks(100);
+    tp.duration = hsim::UsToTicks(1000);
+    tp.trace = &trace;
+    hsim::RunLockStress(tp);
+    if (!hmetrics::WriteTrace(opts, trace)) {
+      return 1;
+    }
+    printf("\nwrote %llu trace events to %s\n",
+           static_cast<unsigned long long>(trace.event_count()), opts.trace_path.c_str());
+  }
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

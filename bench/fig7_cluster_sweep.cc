@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "src/hkernel/workloads.h"
+#include "src/hmetrics/bench_main.h"
 
 namespace {
 
@@ -27,7 +28,10 @@ const unsigned kClusterSizes[] = {1, 2, 4, 8, 16};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report("fig7_cluster_sweep");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
   printf("Figure 7c: independent-fault test, p=16, response time vs cluster size\n");
   printf("(page-fault response time in us, Little's-law W)\n\n");
   printf("%-18s", "lock \\ csize");
@@ -37,6 +41,8 @@ int main() {
   printf("\n");
   double dl_cs4 = 0;
   for (LockKind kind : {LockKind::kMcsH2, LockKind::kSpin35us}) {
+    hmetrics::BenchSeries& out = report.AddSeries(
+        "fault_response_us", {{"lock", hsim::LockKindName(kind)}, {"test", "independent"}});
     printf("%-18s", hsim::LockKindName(kind));
     for (unsigned cs : kClusterSizes) {
       FaultTestParams params;
@@ -44,10 +50,12 @@ int main() {
       params.cluster_size = cs;
       params.active_procs = 16;
       params.pages = 8;
-      params.warmup_time = hsim::UsToTicks(2500);
-      params.measure_time = hsim::UsToTicks(12000);
+      params.warmup_time = hsim::UsToTicks(opts.smoke ? 1000 : 2500);
+      params.measure_time = hsim::UsToTicks(opts.smoke ? 3000 : 12000);
       const FaultTestResult r = RunIndependentFaultTest(params);
       printf("%9.0f", r.little_response_us());
+      out.AddPoint({{"cluster_size", static_cast<double>(cs)},
+                    {"w_us", r.little_response_us()}});
       if (kind == LockKind::kMcsH2 && cs == 4) {
         dl_cs4 = r.little_response_us();
       }
@@ -61,12 +69,15 @@ int main() {
     params.cluster_size = 16;
     params.active_procs = 4;
     params.pages = 8;
-    params.warmup_time = hsim::UsToTicks(2500);
-    params.measure_time = hsim::UsToTicks(12000);
+    params.warmup_time = hsim::UsToTicks(opts.smoke ? 1000 : 2500);
+    params.measure_time = hsim::UsToTicks(opts.smoke ? 3000 : 12000);
     const FaultTestResult r = RunIndependentFaultTest(params);
     printf("\n16 procs in 4x4 clusters: %.0f us vs 4 procs in one 16-cluster: %.0f us\n"
            "(the paper finds these equal: clustering localizes independent requests)\n\n",
            dl_cs4, r.little_response_us());
+    report.AddSeries("localization_crosscheck")
+        .AddPoint({{"dl_16p_in_4x4_us", dl_cs4},
+                   {"dl_4p_in_16_us", r.little_response_us()}});
   }
 
   printf("Figure 7d: shared-fault test, p=16, response time vs cluster size\n");
@@ -77,6 +88,8 @@ int main() {
   }
   printf("\n");
   for (LockKind kind : {LockKind::kMcsH2, LockKind::kSpin35us}) {
+    hmetrics::BenchSeries& out = report.AddSeries(
+        "fault_response_us", {{"lock", hsim::LockKindName(kind)}, {"test", "shared"}});
     printf("%-18s", hsim::LockKindName(kind));
     for (unsigned cs : kClusterSizes) {
       FaultTestParams params;
@@ -84,13 +97,16 @@ int main() {
       params.cluster_size = cs;
       params.active_procs = 16;
       params.pages = 4;
-      params.iterations = 4;
+      params.iterations = opts.smoke ? 2 : 4;
       params.warmup = 1;
       const FaultTestResult r = RunSharedFaultTest(params);
       char cell[32];
       snprintf(cell, sizeof(cell), "%.0f(wd=%llu)", r.latency.mean_us(),
                static_cast<unsigned long long>(r.counters.rpc_would_deadlock));
       printf("%14s", cell);
+      out.AddPoint({{"cluster_size", static_cast<double>(cs)},
+                    {"mean_us", r.latency.mean_us()},
+                    {"would_deadlock", static_cast<double>(r.counters.rpc_would_deadlock)}});
     }
     printf("\n");
   }
@@ -100,5 +116,7 @@ int main() {
   printf("\nSection 4.2 footnote 6 reference points:\n");
   printf("  null RPC round trip:              %.1f us (paper: 27 us)\n", cal.null_rpc_us);
   printf("  cluster-wide lookup + replicate:  %.1f us (paper: 88 us)\n", cal.replicate_us);
-  return 0;
+  report.AddSeries("calibration")
+      .AddPoint({{"null_rpc_us", cal.null_rpc_us}, {"replicate_us", cal.replicate_us}});
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

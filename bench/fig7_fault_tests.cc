@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "src/hkernel/workloads.h"
+#include "src/hmetrics/bench_main.h"
 
 namespace {
 
@@ -26,20 +27,26 @@ using hsim::LockKind;
 
 const unsigned kProcs[] = {1, 2, 4, 8, 12, 16};
 
+bool g_smoke = false;
+
 FaultTestParams IndependentParams(LockKind kind, unsigned p) {
   FaultTestParams params;
   params.lock_kind = kind;
   params.cluster_size = 16;
   params.active_procs = p;
   params.pages = 8;
-  params.warmup_time = hsim::UsToTicks(2500);
-  params.measure_time = hsim::UsToTicks(12000);
+  params.warmup_time = hsim::UsToTicks(g_smoke ? 1000 : 2500);
+  params.measure_time = hsim::UsToTicks(g_smoke ? 3000 : 12000);
   return params;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  g_smoke = opts.smoke;
+  hmetrics::BenchReport report("fig7_fault_tests");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
   printf("Figure 7a: independent-fault test, one cluster of 16 processors\n");
   printf("(page-fault response time in us, Little's-law W over the run)\n\n");
   printf("%-18s", "lock \\ p");
@@ -50,11 +57,17 @@ int main() {
   double dl16 = 0;
   double spin16 = 0;
   for (LockKind kind : {LockKind::kMcsH2, LockKind::kSpin35us}) {
+    hmetrics::BenchSeries& out = report.AddSeries(
+        "fault_response_us", {{"lock", hsim::LockKindName(kind)}, {"test", "independent"}});
     printf("%-18s", hsim::LockKindName(kind));
     for (unsigned p : kProcs) {
       const FaultTestResult r = RunIndependentFaultTest(IndependentParams(kind, p));
       const double w = r.little_response_us();
       printf("%9.0f", w);
+      out.AddPoint({{"p", static_cast<double>(p)},
+                    {"w_us", w},
+                    {"mean_us", r.latency.mean_us()},
+                    {"lock_us", r.lock_overhead.mean_us()}});
       if (p == 16) {
         (kind == LockKind::kMcsH2 ? dl16 : spin16) = w;
       }
@@ -68,6 +81,9 @@ int main() {
     printf("Section 1 reference: uncontended soft fault %.0f us, locking %.0f us "
            "(paper: 160 us / 40 us)\n\n",
            r.latency.mean_us(), r.lock_overhead.mean_us());
+    report.AddSeries("uncontended_reference")
+        .AddPoint({{"fault_us", r.latency.mean_us()},
+                   {"lock_us", r.lock_overhead.mean_us()}});
   }
 
   printf("Figure 7b: shared-fault test, one cluster of 16 processors\n");
@@ -80,6 +96,8 @@ int main() {
   double dl16s = 0;
   double spin16s = 0;
   for (LockKind kind : {LockKind::kMcsH2, LockKind::kSpin35us}) {
+    hmetrics::BenchSeries& out = report.AddSeries(
+        "fault_response_us", {{"lock", hsim::LockKindName(kind)}, {"test", "shared"}});
     printf("%-18s", hsim::LockKindName(kind));
     for (unsigned p : kProcs) {
       FaultTestParams params;
@@ -87,10 +105,13 @@ int main() {
       params.cluster_size = 16;
       params.active_procs = p;
       params.pages = 4;
-      params.iterations = 4;
+      params.iterations = opts.smoke ? 2 : 4;
       params.warmup = 1;
       const FaultTestResult r = RunSharedFaultTest(params);
       printf("%9.0f", r.latency.mean_us());
+      out.AddPoint({{"p", static_cast<double>(p)},
+                    {"mean_us", r.latency.mean_us()},
+                    {"lock_us", r.lock_overhead.mean_us()}});
       if (p == 16) {
         (kind == LockKind::kMcsH2 ? dl16s : spin16s) = r.latency.mean_us();
       }
@@ -101,5 +122,8 @@ int main() {
          "contention has moved from the coarse locks to the reserve bits, with\n"
          "bursts on the coarse lock whenever a reserve bit clears.\n",
          spin16s / dl16s, spin16 / dl16);
-  return 0;
+  report.AddSeries("ratios")
+      .AddPoint({{"independent_spin_over_dl_p16", spin16 / dl16},
+                 {"shared_spin_over_dl_p16", spin16s / dl16s}});
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

@@ -1,0 +1,71 @@
+// Glue between google-benchmark binaries and the shared BenchReport schema.
+//
+// RunGoogleBench() is the main() body for the google-benchmark benches: it
+// consumes the shared --json/--smoke flags first (ParseBenchArgs leaves
+// google-benchmark's own flags in place), runs the registered benchmarks with
+// a reporter that both prints the usual console table and collects every run
+// into a BenchReport, and emits the report.  --smoke injects a small
+// --benchmark_min_time so CI exercises every benchmark in seconds.
+
+#ifndef BENCH_GBENCH_REPORT_H_
+#define BENCH_GBENCH_REPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/hmetrics/bench_main.h"
+
+namespace hbench {
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  // OO_None: no color escapes -- with --json the report must be the last
+  // clean line of stdout.
+  explicit CollectingReporter(hmetrics::BenchReport* report)
+      : benchmark::ConsoleReporter(OO_None), report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      report_->AddSeries("latency_ns", {{"benchmark", run.benchmark_name()}})
+          .AddPoint({{"real_ns_per_iter", run.GetAdjustedRealTime()},
+                     {"cpu_ns_per_iter", run.GetAdjustedCPUTime()},
+                     {"iterations", static_cast<double>(run.iterations)},
+                     {"threads", static_cast<double>(run.threads)}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  hmetrics::BenchReport* report_;
+};
+
+inline int RunGoogleBench(int argc, char** argv, const char* bench_name) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report(bench_name);
+  report.SetEnv("sim", "native-host");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (opts.smoke) {
+    args.push_back(min_time.data());
+  }
+  int gb_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&gb_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, args.data())) {
+    return 1;
+  }
+  CollectingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
+}
+
+}  // namespace hbench
+
+#endif  // BENCH_GBENCH_REPORT_H_

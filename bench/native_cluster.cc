@@ -15,6 +15,7 @@
 #include "src/hcluster/clustered_table.h"
 #include "src/hcluster/replicated_counter.h"
 #include "src/hcluster/runtime.h"
+#include "src/hmetrics/bench_main.h"
 
 namespace {
 
@@ -38,7 +39,11 @@ void RunOn(hcluster::ClusterRuntime& rt, hcluster::WorkerId w, Fn fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmetrics::BenchOptions opts = hmetrics::ParseBenchArgs(&argc, argv);
+  hmetrics::BenchReport report("native_cluster");
+  report.SetParam("smoke", opts.smoke ? 1 : 0);
+  report.SetEnv("sim", "native-host");
   hcluster::ClusterRuntime rt(hcluster::Topology{8, 2});
   hcluster::ClusteredTable<int, int> table(&rt);
   constexpr int kKeys = 64;
@@ -61,7 +66,7 @@ int main() {
 
   // Local hits.
   double hit_us = 0;
-  constexpr int kReads = 20000;
+  const int kReads = opts.smoke ? 2000 : 20000;
   RunOn(rt, 0, [&] {
     const auto t0 = Clock::now();
     for (int i = 0; i < kReads; ++i) {
@@ -91,26 +96,39 @@ int main() {
   // Replicated counter vs a single shared atomic.
   hcluster::ReplicatedCounter counter(rt.topology());
   std::atomic<std::int64_t> shared{0};
-  constexpr int kIncs = 200000;
+  const int kIncs = opts.smoke ? 20000 : 200000;
+  double replicated_add_us = 0;
+  double shared_add_us = 0;
   {
     const auto t0 = Clock::now();
     for (int i = 0; i < kIncs; ++i) {
       counter.Add(/*worker=*/0, 1);
     }
-    printf("replicated counter add (local cell):  %8.4f us/op\n",
-           UsPerOp(t0, Clock::now(), kIncs));
+    replicated_add_us = UsPerOp(t0, Clock::now(), kIncs);
+    printf("replicated counter add (local cell):  %8.4f us/op\n", replicated_add_us);
   }
   {
     const auto t0 = Clock::now();
     for (int i = 0; i < kIncs; ++i) {
       shared.fetch_add(1, std::memory_order_relaxed);
     }
-    printf("single shared atomic add:             %8.4f us/op\n",
-           UsPerOp(t0, Clock::now(), kIncs));
+    shared_add_us = UsPerOp(t0, Clock::now(), kIncs);
+    printf("single shared atomic add:             %8.4f us/op\n", shared_add_us);
   }
   printf("(single-threaded these tie; the replicated cell wins once multiple\n"
          "sockets contend for the line -- the paper's page-descriptor refcount)\n");
   printf("\ncounter total: %lld (expected %d)\n", static_cast<long long>(counter.Total()),
          kIncs);
-  return 0;
+
+  report.AddSeries("clustered_table")
+      .AddPoint({{"first_read_us", replicate_us},
+                 {"local_hit_us", hit_us},
+                 {"global_update_us", put_us},
+                 {"replications", static_cast<double>(table.replications())},
+                 {"retries", static_cast<double>(table.retries())}});
+  report.AddSeries("replicated_counter")
+      .AddPoint({{"replicated_add_us", replicated_add_us},
+                 {"shared_atomic_add_us", shared_add_us},
+                 {"total_ok", counter.Total() == kIncs ? 1.0 : 0.0}});
+  return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.h"
 #include "src/hlock/fine_table.h"
 #include "src/hlock/hybrid_table.h"
 
@@ -109,4 +110,6 @@ BENCHMARK(BM_HybridReaders);
 BENCHMARK(BM_HybridIndependentKeys)->Threads(2);
 BENCHMARK(BM_FineIndependentKeys)->Threads(2);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hbench::RunGoogleBench(argc, argv, "native_hybrid_table");
+}

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.h"
 #include "src/hlock/mcs_locks.h"
 #include "src/hlock/mcs_try_lock.h"
 #include "src/hlock/spin_locks.h"
@@ -67,4 +68,6 @@ BENCHMARK(BM_Contended<hlock::TtasSpinLock>)->Name("contended/ttas")->Threads(2)
 BENCHMARK(BM_Contended<hlock::McsH2Lock>)->Name("contended/mcs_h2")->Threads(2);
 BENCHMARK(BM_Contended<hlock::TicketLock>)->Name("contended/ticket")->Threads(2);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hbench::RunGoogleBench(argc, argv, "native_lock_latency");
+}

@@ -1,9 +1,71 @@
 #!/bin/sh
-# Regenerates everything: build, full test suite, every bench table/figure.
+# Regenerates everything: build, full test suite, every bench, and the merged
+# machine-readable results file BENCH_RESULTS.json.
+#
+# Flags:
+#   --full   run benches at paper length (default is --smoke: small iteration
+#            counts that exercise every code path in seconds)
+#   --tsan   additionally build with -DHSIM_SANITIZE=thread in build-tsan/
+#            and run the native lock tests under ThreadSanitizer
 set -e
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do
-  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
-done 2>&1 | tee bench_output.txt
+cd "$(dirname "$0")"
+
+SMOKE="--smoke"
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) SMOKE="" ;;
+    --tsan) TSAN=1 ;;
+    *) echo "usage: $0 [--full] [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS" 2>&1 | tee test_output.txt
+
+# Every bench binary supports --json=PATH: the human table still goes to
+# stdout while one hurricane-bench-report/1 document lands in reports/.
+REPORTS=build/bench/reports
+rm -rf "$REPORTS"
+mkdir -p "$REPORTS"
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    echo "==== $name"
+    # shellcheck disable=SC2086 # $SMOKE is intentionally word-split
+    "$b" $SMOKE --json="$REPORTS/$name.json"
+  done
+} 2>&1 | tee bench_output.txt
+
+# Merge and schema-check the per-bench reports into BENCH_RESULTS.json.
+python3 - "$REPORTS" <<'EOF'
+import glob, json, sys
+
+reports = []
+for path in sorted(glob.glob(sys.argv[1] + "/*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "hurricane-bench-report/1", path
+    for key in ("bench", "params", "series", "env"):
+        assert key in doc, (path, key)
+    for series in doc["series"]:
+        assert set(series) >= {"name", "labels", "points"}, (path, series)
+    reports.append(doc)
+
+assert reports, "no bench reports were produced"
+with open("BENCH_RESULTS.json", "w") as f:
+    json.dump(reports, f, indent=1)
+    f.write("\n")
+print(f"BENCH_RESULTS.json: {len(reports)} reports, "
+      f"{sum(len(r['series']) for r in reports)} series")
+EOF
+
+if [ "$TSAN" = 1 ]; then
+  cmake -B build-tsan -S . -DHSIM_SANITIZE=thread
+  cmake --build build-tsan -j"$JOBS" --target hlock_tests
+  ./build-tsan/tests/hlock_tests
+fi

@@ -29,6 +29,7 @@
 #include "src/hkernel/config.h"
 #include "src/hkernel/page_table.h"
 #include "src/hkernel/rpc.h"
+#include "src/hmetrics/registry.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/task.h"
@@ -189,6 +190,37 @@ class KernelSystem {
   const Counters& counters() const { return counters_; }
   Counters& counters() { return counters_; }
 
+  // --- metrics ------------------------------------------------------------------
+  // Attaches an hmetrics registry.  While attached, every RPC drain records
+  // its batch size into the "kernel.rpc_batch_depth" histogram, and
+  // PublishCounters() snapshots the Counters struct into "kernel.*" counters.
+  // The Counters struct stays the hot-path accumulator; the registry is a
+  // view over it, exactly as OpStats relates to ChargeOpStats.
+  void set_metrics(hmetrics::Registry* registry) {
+    metrics_ = registry;
+    rpc_batch_depth_ =
+        registry != nullptr ? &registry->histogram("kernel.rpc_batch_depth") : nullptr;
+  }
+  hmetrics::Registry* metrics() { return metrics_; }
+  hmetrics::LatencyHistogram* rpc_batch_depth_hist() { return rpc_batch_depth_; }
+
+  // Publishes the current counter values into the attached registry.  Call
+  // once at the end of a run: counters are cumulative, so publishing deltas
+  // mid-run would double-count.
+  void PublishCounters() {
+    if (metrics_ == nullptr) {
+      return;
+    }
+    metrics_->counter("kernel.faults").Add(counters_.faults);
+    metrics_->counter("kernel.replications").Add(counters_.replications);
+    metrics_->counter("kernel.rpcs").Add(counters_.rpcs);
+    metrics_->counter("kernel.rpc_would_deadlock").Add(counters_.rpc_would_deadlock);
+    metrics_->counter("kernel.redundant_rpcs").Add(counters_.redundant_rpcs);
+    metrics_->counter("kernel.reserve_waits").Add(counters_.reserve_waits);
+    metrics_->counter("kernel.invalidations").Add(counters_.invalidations);
+    metrics_->counter("kernel.unmaps").Add(counters_.unmaps);
+  }
+
  private:
   hsim::Task<void> HandleGetPage(hsim::Processor& p, RpcRequest& request);
   hsim::Task<void> HandleInvalidate(hsim::Processor& p, RpcRequest& request);
@@ -207,6 +239,8 @@ class KernelSystem {
   // Two private per-processor PTE words written during fault processing.
   std::vector<std::vector<hsim::SimWord*>> pte_words_;
   Counters counters_;
+  hmetrics::Registry* metrics_ = nullptr;
+  hmetrics::LatencyHistogram* rpc_batch_depth_ = nullptr;
 };
 
 // Creates a coarse-grained lock of the configured kind, homed on `module`.

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/hkernel/kernel.h"
+#include "src/hmetrics/trace.h"
 #include "src/hsim/engine.h"
 
 namespace hkernel {
@@ -22,21 +23,37 @@ hsim::Task<void> DeliverAfter(hsim::Engine* engine, hsim::Tick transit, CpuKerne
 hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcRequest*>* queue,
                                         int budget) {
   const KernelConfig& cfg = system_->config();
+  hsim::Machine& machine = system_->machine();
+  std::uint64_t batch = 0;
   while (!queue->empty() && budget-- > 0) {
     RpcRequest* request = queue->front();
     queue->pop_front();
     ++handled_;
+    ++batch;
     in_handler_ = true;
+    hmetrics::TraceSession* tr =
+        machine.trace_enabled(hmetrics::kTraceRpc) ? machine.trace() : nullptr;
+    hmetrics::TraceSession::SpanId span = 0;
+    if (tr != nullptr) {
+      span = tr->BeginSpan(hmetrics::kTraceRpc, "rpc/handle", p.id(), p.now());
+      tr->AddArg(span, "op", RpcOpName(request->op));
+    }
     co_await p.Compute(cfg.rpc_dispatch);
     co_await system_->HandleRpc(p, *request);
     co_await p.Compute(cfg.rpc_reply);
     in_handler_ = false;
     assert(request->status != RpcStatus::kPending);
+    if (tr != nullptr) {
+      tr->EndSpan(span, p.now());
+    }
     // The reply travels back to the initiator.  This store is the completion
     // signal the initiator polls on, and it MUST be the last touch of the
     // request: the moment the initiator observes it, the request (which
     // lives in the initiator's frame) may cease to exist.
     request->reply_visible_at = p.now() + cfg.rpc_transit;
+  }
+  if (batch > 0 && system_->rpc_batch_depth_hist() != nullptr) {
+    system_->rpc_batch_depth_hist()->Record(batch);
   }
 }
 
@@ -83,6 +100,16 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
   request->src_proc = id_;
   request->src_cluster = system_->cluster_of_proc(id_);
 
+  hsim::Machine& machine = system_->machine();
+  hmetrics::TraceSession* tr =
+      machine.trace_enabled(hmetrics::kTraceRpc) ? machine.trace() : nullptr;
+  hmetrics::TraceSession::SpanId span = 0;
+  if (tr != nullptr) {
+    span = tr->BeginSpan(hmetrics::kTraceRpc, "rpc/call", p.id(), p.now());
+    tr->AddArg(span, "op", RpcOpName(request->op));
+    tr->AddArg(span, "target", std::to_string(target));
+  }
+
   co_await p.Compute(cfg.rpc_send);
   p.engine().Spawn(
       DeliverAfter(&p.engine(), cfg.rpc_transit, &system_->cpu(target), request));
@@ -97,6 +124,9 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
   }
   co_await p.Compute(cfg.rpc_recv);
   assert(request->status != RpcStatus::kPending);
+  if (tr != nullptr) {
+    tr->EndSpan(span, p.now());
+  }
 }
 
 }  // namespace hkernel

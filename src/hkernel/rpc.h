@@ -44,6 +44,26 @@ enum class RpcOp : std::uint8_t {
   kProcDeposit,      // deposit a message into page (target pid)'s mailbox
 };
 
+inline const char* RpcOpName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kNull:
+      return "null";
+    case RpcOp::kGetPage:
+      return "get_page";
+    case RpcOp::kInvalidate:
+      return "invalidate";
+    case RpcOp::kGlobalUpdate:
+      return "global_update";
+    case RpcOp::kProcAddChild:
+      return "proc_add_child";
+    case RpcOp::kProcUnlinkChild:
+      return "proc_unlink_child";
+    case RpcOp::kProcDeposit:
+      return "proc_deposit";
+  }
+  return "?";
+}
+
 enum class RpcStatus : std::uint8_t {
   kPending,
   kOk,

@@ -39,8 +39,8 @@ struct RunState {
 };
 
 hsim::Task<void> IndependentDriver(KernelSystem* sys, hsim::ProcId pid, Program* prog,
-                                   const FaultTestParams params, LatencyRecorder* latency,
-                                   LatencyRecorder* lock_overhead, RunState* state) {
+                                   const FaultTestParams params, hsim::LatencyRecorder* latency,
+                                   hsim::LatencyRecorder* lock_overhead, RunState* state) {
   hsim::Processor& p = sys->machine().processor(pid);
   CpuKernel& k = sys->cpu(pid);
   const hsim::Tick warm_end = params.warmup_time;
@@ -66,7 +66,7 @@ hsim::Task<void> IndependentDriver(KernelSystem* sys, hsim::ProcId pid, Program*
 
 hsim::Task<void> SharedDriver(KernelSystem* sys, hsim::ProcId pid, Program* prog,
                               const FaultTestParams params, SimBarrier* barrier, bool leader,
-                              LatencyRecorder* latency, LatencyRecorder* lock_overhead,
+                              hsim::LatencyRecorder* latency, hsim::LatencyRecorder* lock_overhead,
                               RunState* state) {
   hsim::Processor& p = sys->machine().processor(pid);
   CpuKernel& k = sys->cpu(pid);
@@ -102,11 +102,13 @@ struct TestRig {
 
   explicit TestRig(const FaultTestParams& params) {
     machine = std::make_unique<hsim::Machine>(&engine, hsim::MachineConfig{});
+    machine->set_trace(params.trace);
     KernelConfig config;
     config.cluster_size = params.cluster_size;
     config.lock_kind = params.lock_kind;
     config.protocol = params.protocol;
     system = std::make_unique<KernelSystem>(machine.get(), config);
+    system->set_metrics(params.metrics);
   }
 
   void SpawnIdleLoops(std::uint32_t active_procs) {
@@ -115,7 +117,7 @@ struct TestRig {
     }
   }
 
-  FaultTestResult Finish(LatencyRecorder latency, LatencyRecorder lock_overhead) {
+  FaultTestResult Finish(hsim::LatencyRecorder latency, hsim::LatencyRecorder lock_overhead) {
     FaultTestResult result;
     result.latency = std::move(latency);
     result.lock_overhead = std::move(lock_overhead);
@@ -131,6 +133,7 @@ struct TestRig {
                            : 0.0);
       result.module_wait.push_back(machine->memory(m).total_wait());
     }
+    system->PublishCounters();
     return result;
   }
 };
@@ -139,8 +142,8 @@ struct TestRig {
 
 FaultTestResult RunIndependentFaultTest(const FaultTestParams& params) {
   TestRig rig(params);
-  LatencyRecorder latency;
-  LatencyRecorder lock_overhead;
+  hsim::LatencyRecorder latency;
+  hsim::LatencyRecorder lock_overhead;
   rig.state.remaining = params.active_procs;
   // One sequential program per processor: private regions, private address
   // spaces (Figure 6a).
@@ -160,8 +163,8 @@ FaultTestResult RunIndependentFaultTest(const FaultTestParams& params) {
 
 FaultTestResult RunSharedFaultTest(const FaultTestParams& params) {
   TestRig rig(params);
-  LatencyRecorder latency;
-  LatencyRecorder lock_overhead;
+  hsim::LatencyRecorder latency;
+  hsim::LatencyRecorder lock_overhead;
   SimBarrier barrier(rig.system.get(), params.active_procs);
   rig.state.remaining = params.active_procs;
   // One parallel (SPMD) program spanning all processors (Figure 6b).
@@ -177,8 +180,8 @@ FaultTestResult RunSharedFaultTest(const FaultTestParams& params) {
 
 FaultTestResult RunMixedFaultTest(const FaultTestParams& params) {
   TestRig rig(params);
-  LatencyRecorder latency;
-  LatencyRecorder lock_overhead;
+  hsim::LatencyRecorder latency;
+  hsim::LatencyRecorder lock_overhead;
   // Odd processors form one SPMD program; even processors run independent
   // sequential programs.  The shared side's round count bounds the run.
   std::vector<hsim::ProcId> shared_procs;
@@ -194,8 +197,8 @@ FaultTestResult RunMixedFaultTest(const FaultTestParams& params) {
   const hsim::ProcId leader = shared_procs.front();
   for (hsim::ProcId pid : shared_procs) {
     rig.engine.Spawn([](KernelSystem* sys, hsim::ProcId self, hsim::ProcId lead, Program* prog,
-                        const FaultTestParams p, SimBarrier* bar, LatencyRecorder* lat,
-                        LatencyRecorder* lock_lat, RunState* state) -> hsim::Task<void> {
+                        const FaultTestParams p, SimBarrier* bar, hsim::LatencyRecorder* lat,
+                        hsim::LatencyRecorder* lock_lat, RunState* state) -> hsim::Task<void> {
       hsim::Processor& proc = sys->machine().processor(self);
       CpuKernel& k = sys->cpu(self);
       const std::uint32_t rounds = p.warmup + p.iterations;
@@ -227,8 +230,8 @@ FaultTestResult RunMixedFaultTest(const FaultTestParams& params) {
   for (hsim::ProcId pid : indep_procs) {
     Program& prog = rig.system->CreateProgram();
     rig.engine.Spawn([](KernelSystem* sys, hsim::ProcId self, Program* pr,
-                        const FaultTestParams p, LatencyRecorder* lat,
-                        LatencyRecorder* lock_lat, RunState* state) -> hsim::Task<void> {
+                        const FaultTestParams p, hsim::LatencyRecorder* lat,
+                        hsim::LatencyRecorder* lock_lat, RunState* state) -> hsim::Task<void> {
       hsim::Processor& proc = sys->machine().processor(self);
       CpuKernel& k = sys->cpu(self);
       std::uint32_t i = 0;

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "src/hkernel/kernel.h"
-#include "src/hkernel/stats.h"
+#include "src/hmetrics/registry.h"
+#include "src/hmetrics/trace.h"
 #include "src/hsim/locks/sim_lock.h"
+#include "src/hsim/stats.h"
 #include "src/hsim/types.h"
 
 namespace hkernel {
@@ -39,8 +41,8 @@ class SimBarrier {
 };
 
 struct FaultTestResult {
-  LatencyRecorder latency;        // per-fault end-to-end latency
-  LatencyRecorder lock_overhead;  // per-fault cycles inside locking primitives
+  hsim::LatencyRecorder latency;        // per-fault end-to-end latency
+  hsim::LatencyRecorder lock_overhead;  // per-fault cycles inside locking primitives
   KernelSystem::Counters counters;
   // Independent test only: faults completed inside the measurement window and
   // the Little's-law response time W = p * window / completions, which unlike
@@ -82,6 +84,11 @@ struct FaultTestParams {
   // they caused and biasing the recorded mean.
   hsim::Tick warmup_time = hsim::UsToTicks(2000);
   hsim::Tick measure_time = hsim::UsToTicks(25000);
+  // Optional observability hooks: `trace` receives lock/memory/RPC spans from
+  // the run; `metrics` receives the kernel counters ("kernel.*") and the RPC
+  // batch-depth histogram.
+  hmetrics::TraceSession* trace = nullptr;
+  hmetrics::Registry* metrics = nullptr;
 };
 
 // Runs the independent-fault stress test on a fresh 16-processor machine.

@@ -135,7 +135,10 @@ class HybridTable {
         if (entry == nullptr) {
           entry = InsertLocked(key);
         }
-        if (entry->reserve.load(std::memory_order_relaxed) == 0) {
+        // Acquire load: seeing 0 takes over the entry, so the previous
+        // holder's writes to `value` must be visible (it published them with
+        // the release store in ExclusiveGuard::Release).
+        if (entry->reserve.load(std::memory_order_acquire) == 0) {
           entry->reserve.store(kExclusive, std::memory_order_relaxed);
           return ExclusiveGuard(this, entry);
         }
@@ -158,7 +161,7 @@ class HybridTable {
     if (entry == nullptr) {
       entry = InsertLocked(key);
     }
-    if (entry->reserve.load(std::memory_order_relaxed) != 0) {
+    if (entry->reserve.load(std::memory_order_acquire) != 0) {
       return ExclusiveGuard();
     }
     entry->reserve.store(kExclusive, std::memory_order_relaxed);
@@ -176,7 +179,7 @@ class HybridTable {
         if (entry == nullptr) {
           entry = InsertLocked(key);
         }
-        const std::uint64_t state = entry->reserve.load(std::memory_order_relaxed);
+        const std::uint64_t state = entry->reserve.load(std::memory_order_acquire);
         if (state != kExclusive) {
           entry->reserve.store(state + 1, std::memory_order_relaxed);
           return SharedGuard(this, entry);
@@ -196,7 +199,7 @@ class HybridTable {
     if (entry == nullptr) {
       return SharedGuard();
     }
-    const std::uint64_t state = entry->reserve.load(std::memory_order_relaxed);
+    const std::uint64_t state = entry->reserve.load(std::memory_order_acquire);
     if (state == kExclusive) {
       return SharedGuard();
     }
@@ -229,7 +232,9 @@ class HybridTable {
     while (*link != nullptr) {
       Entry* entry = *link;
       if (entry->key == key) {
-        if (entry->reserve.load(std::memory_order_relaxed) != 0) {
+        // Acquire: the recycled entry will be rewritten, which must not race
+        // with the last holder's writes.
+        if (entry->reserve.load(std::memory_order_acquire) != 0) {
           return false;
         }
         *link = entry->next;

@@ -21,8 +21,9 @@ SoftIrqGate::~SoftIrqGate() {
 void SoftIrqGate::Post(std::function<void()> work) {
   auto* item = new WorkItem{std::move(work), {nullptr}};
   const std::uint64_t pending = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (pending > high_water_) {
-    high_water_ = pending;  // approximate: racy but monotone enough for stats
+  std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+  while (pending > hw &&
+         !high_water_.compare_exchange_weak(hw, pending, std::memory_order_relaxed)) {
   }
   WorkItem* prev = head_.exchange(item, std::memory_order_acq_rel);
   prev->next.store(item, std::memory_order_release);

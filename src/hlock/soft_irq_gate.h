@@ -64,7 +64,9 @@ class SoftIrqGate {
 
   // --- statistics -----------------------------------------------------------------
   std::uint64_t executed() const { return executed_; }
-  std::uint64_t deferred_high_water() const { return high_water_; }
+  std::uint64_t deferred_high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct WorkItem {
@@ -83,7 +85,7 @@ class SoftIrqGate {
   int depth_ = 0;         // owner-only
   bool draining_ = false;  // owner-only: prevents re-entrant drains
   std::uint64_t executed_ = 0;
-  std::uint64_t high_water_ = 0;
+  std::atomic<std::uint64_t> high_water_{0};  // CAS-max updated by producers
   std::atomic<std::uint64_t> pending_{0};
 };
 

@@ -1,0 +1,99 @@
+// Shared command-line handling for the bench binaries.
+//
+// Every bench supports the same flags:
+//   --json[=PATH]    emit the BenchReport JSON document (stdout by default).
+//                    The human table still prints to stdout; with plain
+//                    --json the report is the LAST line, so
+//                    `bench --json | tail -1` is always valid JSON.
+//   --smoke          tiny iteration counts: exercise every code path and
+//                    produce a schema-valid report in seconds (CI mode).
+//   --trace=PATH     write a Chrome trace_event JSON of an instrumented run
+//                    (benches that support tracing document what is traced).
+//
+// Unrecognized arguments are left in place (ParseBenchArgs compacts argv), so
+// wrappers like google-benchmark keep their own flags.
+
+#ifndef HMETRICS_BENCH_MAIN_H_
+#define HMETRICS_BENCH_MAIN_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/hmetrics/bench_report.h"
+#include "src/hmetrics/trace.h"
+
+namespace hmetrics {
+
+struct BenchOptions {
+  bool json = false;
+  std::string json_path;   // empty: stdout
+  bool smoke = false;
+  std::string trace_path;  // empty: tracing off
+};
+
+// Consumes the shared flags from argv (shifting the rest down and updating
+// *argc) and returns the parsed options.
+inline BenchOptions ParseBenchArgs(int* argc, char** argv) {
+  BenchOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      opts.json = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opts.json = true;
+      opts.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opts.trace_path = arg + 8;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return opts;
+}
+
+// Writes `report` as one line of JSON to opts.json_path (or stdout).  No-op
+// unless --json was given.  Returns false if the output file cannot be
+// written.
+inline bool WriteReport(const BenchOptions& opts, const BenchReport& report) {
+  if (!opts.json) {
+    return true;
+  }
+  const std::string doc = report.ToJson();
+  if (opts.json_path.empty()) {
+    std::printf("%s\n", doc.c_str());
+    return true;
+  }
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", doc.c_str());
+  std::fclose(f);
+  return true;
+}
+
+// Writes a trace session to opts.trace_path.  No-op when tracing is off.
+inline bool WriteTrace(const BenchOptions& opts, const TraceSession& trace) {
+  if (opts.trace_path.empty()) {
+    return true;
+  }
+  const std::string doc = trace.ToChromeJson();
+  std::FILE* f = std::fopen(opts.trace_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", doc.c_str());
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hmetrics
+
+#endif  // HMETRICS_BENCH_MAIN_H_

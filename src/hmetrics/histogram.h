@@ -1,0 +1,109 @@
+// Streaming latency histogram with a sorted-sample cache.
+//
+// The previous harness recorder copied and sorted the full sample vector on
+// EVERY percentile query -- O(n log n) per call, and benches query several
+// percentiles per table row.  LatencyHistogram sorts once, lazily, and
+// invalidates the cache on insert, so a burst of percentile/min/max/fraction
+// queries after a run costs one sort total.  Sum, min and max are maintained
+// streaming so they never touch the cache at all.
+//
+// Samples are unsigned 64-bit (simulator ticks or nanoseconds); all derived
+// statistics are doubles.  Merge() combines per-processor (or per-thread)
+// shards into one distribution, which is how sharded harnesses aggregate.
+
+#ifndef HMETRICS_HISTOGRAM_H_
+#define HMETRICS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hmetrics {
+
+class LatencyHistogram {
+ public:
+  using Sample = std::uint64_t;
+
+  void Record(Sample v) {
+    samples_.push_back(v);
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    // Invalidate the query cache (cheap flag, no deallocation).
+    sorted_valid_ = false;
+  }
+
+  // Folds `other`'s samples into this histogram (shard aggregation).
+  void Merge(const LatencyHistogram& other) {
+    if (other.samples_.empty()) {
+      return;
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sorted_valid_ = false;
+  }
+
+  std::uint64_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    return samples_.empty()
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+  Sample max() const { return samples_.empty() ? 0 : max_; }
+  Sample min() const { return samples_.empty() ? 0 : min_; }
+  std::uint64_t sum() const { return sum_; }
+
+  // Nearest-rank percentile with the same rounding the old recorder used:
+  // rank = p/100 * (n-1), rounded half-up.  p is clamped to [0, 100].
+  Sample percentile(double p) const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    p = std::min(std::max(p, 0.0), 100.0);
+    EnsureSorted();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    return sorted_[static_cast<std::size_t>(rank + 0.5)];
+  }
+
+  // Fraction of samples strictly above `threshold`.  Uses the sorted cache:
+  // O(log n) after the one-time sort instead of a full scan per query.
+  double fraction_above(Sample threshold) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    EnsureSorted();
+    const auto first_above =
+        std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    return static_cast<double>(sorted_.end() - first_above) /
+           static_cast<double>(sorted_.size());
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+  }
+
+  std::vector<Sample> samples_;
+  std::uint64_t sum_ = 0;
+  Sample min_ = std::numeric_limits<Sample>::max();
+  Sample max_ = 0;
+  // Query-side cache: mutable so const statistics queries can build it.
+  mutable std::vector<Sample> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace hmetrics
+
+#endif  // HMETRICS_HISTOGRAM_H_

@@ -1,0 +1,439 @@
+// Minimal JSON support for the metrics layer: a streaming writer and a small
+// recursive-descent parser.
+//
+// The writer produces compact (single-line) RFC 8259 output and is the one
+// place where string escaping and float formatting live, so every exporter
+// (BenchReport, TraceSession, Registry) serializes identically.  The parser
+// exists so that tests and tooling can read our own output back -- it is not a
+// general-purpose JSON library (no \uXXXX surrogate pairs, 64-bit doubles
+// only), which is exactly enough for data we ourselves produced.
+
+#ifndef HMETRICS_JSON_H_
+#define HMETRICS_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hmetrics {
+
+// Appends `s` to `out` with JSON string escaping (quotes not included).
+inline void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Formats a double the way JSON requires: no inf/nan (clamped to 0), integral
+// values without a trailing ".0" mantissa soup, everything else round-trip
+// precise via %.17g.
+inline void JsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "0";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+// A streaming writer for compact JSON.  The caller is responsible for
+// structural correctness (the writer only tracks when a comma is needed).
+class JsonWriter {
+ public:
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+  void Key(const std::string& k) {
+    Comma();
+    out_ += '"';
+    JsonEscape(k, &out_);
+    out_ += "\":";
+    fresh_ = true;  // the upcoming value must not emit a comma
+  }
+  void String(const std::string& v) {
+    Comma();
+    out_ += '"';
+    JsonEscape(v, &out_);
+    out_ += '"';
+  }
+  void Number(double v) {
+    Comma();
+    JsonNumber(v, &out_);
+  }
+  void Uint(std::uint64_t v) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+  void Null() {
+    Comma();
+    out_ += "null";
+  }
+  // Convenience: key + value in one call.
+  void Field(const std::string& k, const std::string& v) {
+    Key(k);
+    String(v);
+  }
+  void Field(const std::string& k, const char* v) {
+    Key(k);
+    String(v);
+  }
+  void Field(const std::string& k, double v) {
+    Key(k);
+    Number(v);
+  }
+  void Field(const std::string& k, std::uint64_t v) {
+    Key(k);
+    Uint(v);
+  }
+  void Field(const std::string& k, bool v) {
+    Key(k);
+    Bool(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma() {
+    if (!fresh_) {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+  std::string out_;
+  bool fresh_ = true;
+};
+
+// A parsed JSON value.  Objects keep insertion-order-insensitive std::map
+// semantics; numbers are doubles (all numbers we emit fit).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  bool Has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  // Lookup that returns a null value on any miss, so chained access is safe.
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue kNull;
+    auto it = object.find(key);
+    return it == object.end() ? kNull : it->second;
+  }
+  const JsonValue& at(std::size_t i) const {
+    static const JsonValue kNull;
+    return i < array.size() ? array[i] : kNull;
+  }
+};
+
+// Parses `text`; returns false (and sets *error when provided) on malformed
+// input or trailing garbage.
+class JsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out, std::string* error = nullptr) {
+    JsonParser p(text);
+    if (!p.ParseValue(out)) {
+      if (error != nullptr) {
+        *error = p.error_;
+      }
+      return false;
+    }
+    p.SkipWs();
+    if (p.pos_ != text.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(p.pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, lit) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          return Fail("dangling escape");
+        }
+        char e = text_[++pos_];
+        switch (e) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              return Fail("short \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_ + 1 + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // We only ever emit \u00xx control escapes; decode as Latin-1.
+            *out += static_cast<char>(code & 0xFF);
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++pos_;
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return Fail("expected ':'");
+        }
+        ++pos_;
+        JsonValue v;
+        if (!ParseValue(&v)) {
+          return false;
+        }
+        out->object.emplace(std::move(key), std::move(v));
+        SkipWs();
+        if (pos_ >= text_.size()) {
+          return Fail("unterminated object");
+        }
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) {
+          return false;
+        }
+        out->array.push_back(std::move(v));
+        SkipWs();
+        if (pos_ >= text_.size()) {
+          return Fail("unterminated array");
+        }
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    // Number.
+    std::size_t start = pos_;
+    if (text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace hmetrics
+
+#endif  // HMETRICS_JSON_H_

@@ -1,0 +1,143 @@
+// TraceSession: timestamped spans and instants, exported as Chrome
+// trace_event JSON (the format Perfetto / chrome://tracing load directly).
+//
+// Producers (the simulator's locks, memory system, RPC layer) are handed an
+// optional TraceSession*; when it is null or the producer's category is
+// disabled, tracing is a pointer test and costs nothing.  Recording never
+// suspends or advances simulated time, so an identical run with tracing
+// enabled produces bit-identical timing -- the trace is a pure observer.
+//
+// Spans are exported as complete events (ph "X": one record with ts + dur);
+// instants as ph "i".  Timestamps are recorded in caller ticks and divided by
+// ticks_per_us at export time (Chrome traces are in microseconds; the HECTOR
+// model runs at 16 ticks/us).  Track ids (tid) are the caller's processor
+// ids, so a Figure-5 trace shows one lane per simulated CPU.
+
+#ifndef HMETRICS_TRACE_H_
+#define HMETRICS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/hmetrics/json.h"
+
+namespace hmetrics {
+
+enum TraceCategory : std::uint32_t {
+  kTraceLocks = 1u << 0,   // lock acquire/hold spans
+  kTraceMemory = 1u << 1,  // individual shared-memory accesses (high volume)
+  kTraceRpc = 1u << 2,     // RPC send/handle/reply spans
+  kTraceKernel = 1u << 3,  // kernel operations (page faults, unmaps)
+  kTraceAll = ~0u,
+};
+
+class TraceSession {
+ public:
+  using SpanId = std::size_t;
+  static constexpr std::uint64_t kOpenDur = ~0ull;
+
+  explicit TraceSession(std::uint32_t categories = kTraceAll, double ticks_per_us = 1.0)
+      : categories_(categories), ticks_per_us_(ticks_per_us) {}
+
+  bool enabled(TraceCategory cat) const { return (categories_ & cat) != 0; }
+  void set_ticks_per_us(double t) { ticks_per_us_ = t; }
+
+  // Opens a span at tick `ts` on track `tid`.  Returns the id to close it
+  // with; the span stays open (dur 0 on export) if never closed.
+  SpanId BeginSpan(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
+    events_.push_back(Event{std::move(name), CatName(cat), ts, kOpenDur, tid, 'X', {}});
+    return events_.size() - 1;
+  }
+
+  void EndSpan(SpanId id, std::uint64_t ts) {
+    Event& e = events_[id];
+    e.dur = ts >= e.ts ? ts - e.ts : 0;
+  }
+
+  // Attaches a key/value argument to an event (shown in the trace viewer).
+  void AddArg(SpanId id, const std::string& key, std::string value) {
+    events_[id].args.emplace_back(key, std::move(value));
+  }
+
+  void Instant(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
+    events_.push_back(Event{std::move(name), CatName(cat), ts, 0, tid, 'i', {}});
+  }
+
+  std::size_t event_count() const { return events_.size(); }
+
+  void WriteChromeTrace(JsonWriter* w) const {
+    w->BeginObject();
+    w->Field("displayTimeUnit", "ms");
+    w->Key("traceEvents");
+    w->BeginArray();
+    for (const Event& e : events_) {
+      w->BeginObject();
+      w->Field("name", e.name);
+      w->Field("cat", e.cat);
+      w->Key("ph");
+      w->String(std::string(1, e.ph));
+      w->Field("pid", std::uint64_t{0});
+      w->Field("tid", std::uint64_t{e.tid});
+      w->Field("ts", static_cast<double>(e.ts) / ticks_per_us_);
+      if (e.ph == 'X') {
+        w->Field("dur",
+                 e.dur == kOpenDur ? 0.0 : static_cast<double>(e.dur) / ticks_per_us_);
+      } else {
+        w->Field("s", "t");  // instant scope: thread
+      }
+      if (!e.args.empty()) {
+        w->Key("args");
+        w->BeginObject();
+        for (const auto& [k, v] : e.args) {
+          w->Field(k, v);
+        }
+        w->EndObject();
+      }
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+
+  std::string ToChromeJson() const {
+    JsonWriter w;
+    WriteChromeTrace(&w);
+    return w.Take();
+  }
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat;
+    std::uint64_t ts;
+    std::uint64_t dur;
+    std::uint32_t tid;
+    char ph;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  static const char* CatName(TraceCategory cat) {
+    switch (cat) {
+      case kTraceLocks:
+        return "locks";
+      case kTraceMemory:
+        return "memory";
+      case kTraceRpc:
+        return "rpc";
+      case kTraceKernel:
+        return "kernel";
+      default:
+        return "misc";
+    }
+  }
+
+  std::vector<Event> events_;
+  std::uint32_t categories_;
+  double ticks_per_us_;
+};
+
+}  // namespace hmetrics
+
+#endif  // HMETRICS_TRACE_H_

@@ -3,7 +3,7 @@
 namespace hsim {
 
 SimMcsLock::SimMcsLock(Machine* machine, ModuleId home, McsVariant variant)
-    : tail_(machine->AllocWord(home, kNil)), variant_(variant) {
+    : machine_(machine), tail_(machine->AllocWord(home, kNil)), variant_(variant) {
   const std::uint32_t nprocs = machine->num_processors();
   qnodes_.reserve(nprocs);
   for (std::uint32_t p = 0; p < nprocs; ++p) {
@@ -18,6 +18,13 @@ SimMcsLock::SimMcsLock(Machine* machine, ModuleId home, McsVariant variant)
 Task<void> SimMcsLock::Acquire(Processor& p) {
   const std::uint64_t me = p.id() + 1;
   QNode& node = qnodes_[p.id()];
+  hmetrics::TraceSession* tr =
+      machine_->trace_enabled(hmetrics::kTraceLocks) ? machine_->trace() : nullptr;
+  hmetrics::TraceSession::SpanId span = 0;
+  if (tr != nullptr) {
+    span = tr->BeginSpan(hmetrics::kTraceLocks, "lock/acquire", p.id(), p.now());
+    tr->AddArg(span, "lock", name());
+  }
 
   if (variant_ == McsVariant::kOriginal) {
     // I->next := nil  -- hoisted out of the critical path by modification H1.
@@ -28,6 +35,9 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
   // Compare predecessor against nil, branch, return (uncontended exit).
   co_await p.Exec(1, 2);
   if (pred == kNil) {
+    if (tr != nullptr) {
+      tr->EndSpan(span, p.now());
+    }
     co_return;
   }
 
@@ -56,6 +66,9 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
     // handoff chain under contention.
     p.PostStore(*node.locked, 1);
   }
+  if (tr != nullptr) {
+    tr->EndSpan(span, p.now());
+  }
 }
 
 Task<void> SimMcsLock::HandOff(Processor& p, std::uint64_t successor_id1) {
@@ -65,6 +78,9 @@ Task<void> SimMcsLock::HandOff(Processor& p, std::uint64_t successor_id1) {
 Task<void> SimMcsLock::Release(Processor& p) {
   const std::uint64_t me = p.id() + 1;
   QNode& node = qnodes_[p.id()];
+  if (machine_->trace_enabled(hmetrics::kTraceLocks)) {
+    machine_->trace()->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+  }
 
   std::uint64_t succ = kNil;
   if (variant_ != McsVariant::kH2) {

@@ -71,6 +71,7 @@ class SimMcsLock : public SimLock {
 
   Task<void> HandOff(Processor& p, std::uint64_t successor_id1);
 
+  Machine* machine_;
   SimWord& tail_;  // processor id + 1 of the queue tail, or 0 (free)
   std::vector<QNode> qnodes_;
   McsVariant variant_;

@@ -12,11 +12,19 @@ constexpr std::uint64_t kLocked = 1;
 }  // namespace
 
 SimSpinLock::SimSpinLock(Machine* machine, ModuleId home, Tick max_backoff, Tick base_backoff)
-    : word_(machine->AllocWord(home, kUnlocked)),
+    : machine_(machine),
+      word_(machine->AllocWord(home, kUnlocked)),
       max_backoff_(max_backoff),
       base_backoff_(base_backoff) {}
 
 Task<void> SimSpinLock::Acquire(Processor& p) {
+  hmetrics::TraceSession* tr =
+      machine_->trace_enabled(hmetrics::kTraceLocks) ? machine_->trace() : nullptr;
+  hmetrics::TraceSession::SpanId span = 0;
+  if (tr != nullptr) {
+    span = tr->BeginSpan(hmetrics::kTraceLocks, "lock/acquire", p.id(), p.now());
+    tr->AddArg(span, "lock", name());
+  }
   // First attempt: test_and_set; then the uncontended exit charges the
   // delay-register init, the test branch and the return (Figure 4: Spin row,
   // acquire half).
@@ -35,6 +43,9 @@ Task<void> SimSpinLock::Acquire(Processor& p) {
     co_await p.Exec(1, 1);
   }
   ++acquisitions_;
+  if (tr != nullptr) {
+    tr->EndSpan(span, p.now());
+  }
 }
 
 Task<void> SimSpinLock::Release(Processor& p) {
@@ -42,6 +53,9 @@ Task<void> SimSpinLock::Release(Processor& p) {
   // section's accesses, so the release is also a swap (counted atomic).
   co_await p.FetchStore(word_, kUnlocked);
   co_await p.Exec(0, 1);
+  if (machine_->trace_enabled(hmetrics::kTraceLocks)) {
+    machine_->trace()->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+  }
 }
 
 std::string SimSpinLock::name() const {

@@ -42,6 +42,7 @@ class SimSpinLock : public SimLock {
   static constexpr Tick kDefaultBaseBackoff = 4;  // a handful of instructions
 
  private:
+  Machine* machine_;
   SimWord& word_;
   Tick max_backoff_;
   Tick base_backoff_;

@@ -63,6 +63,7 @@ Task<void> StressDriver(Processor* p, Shared* shared) {
 LockStressResult RunLockStress(const LockStressParams& params) {
   Engine engine;
   Machine machine(&engine, params.machine);
+  machine.set_trace(params.trace);
   std::unique_ptr<SimLock> lock = MakeLock(&machine, params.kind, params.lock_home);
 
   LockStressResult result;
@@ -96,6 +97,24 @@ LockStressResult RunLockStress(const LockStressParams& params) {
               : 0.0;
   result.bus_wait = machine.total_bus_wait();
   result.mem_wait = machine.total_memory_wait();
+
+  if (params.metrics != nullptr) {
+    // Charge the run's instruction mix and lock counters into the registry,
+    // labeled by lock kind: the per-phase breakdown view of the run.
+    const hmetrics::Labels labels{{"lock", LockKindName(params.kind)}};
+    OpStats total;
+    for (std::uint32_t p = 0; p < params.processors; ++p) {
+      total += machine.processor(p).stats();
+    }
+    ChargeOpStats(params.metrics, total, labels);
+    params.metrics->counter("lock.acquisitions", labels).Add(result.acquisitions);
+    params.metrics->counter("lock.spin_retries", labels).Add(result.spin_retries);
+    params.metrics->counter("lock.mcs_repairs", labels).Add(result.mcs_repairs);
+    params.metrics->counter("machine.bus_wait_ticks", labels).Add(result.bus_wait);
+    params.metrics->counter("machine.mem_wait_ticks", labels).Add(result.mem_wait);
+    auto& h = params.metrics->histogram("lock.acquire_ticks", labels);
+    h.Merge(result.acquire_latency);
+  }
   return result;
 }
 

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "src/hmetrics/registry.h"
+#include "src/hmetrics/trace.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/stats.h"
@@ -28,6 +30,11 @@ struct LockStressParams {
   Tick warmup = UsToTicks(1000);       // unrecorded start-up window
   Tick duration = UsToTicks(20000);    // recorded window after warm-up
   MachineConfig machine;               // e.g. cache_coherent for Section 5.2
+  // Optional observability hooks.  `trace` receives lock-acquire/release (and,
+  // category permitting, memory-access) spans; `metrics` receives the run's
+  // aggregate OpStats and lock counters as labeled series.
+  hmetrics::TraceSession* trace = nullptr;
+  hmetrics::Registry* metrics = nullptr;
 };
 
 struct LockStressResult {

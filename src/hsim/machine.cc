@@ -31,12 +31,19 @@ Tick Processor::now() { return engine().now(); }
 
 Task<std::uint64_t> Processor::Load(SimWord& word) {
   ++stats_.mem_loads;
+  if (machine_->trace_enabled(hmetrics::kTraceMemory)) {
+    return TracedAccess(word, AccessKind::kLoad, 0, 0, nullptr, "mem/load");
+  }
   return Access(word, AccessKind::kLoad, 0, 0, nullptr);
 }
 
 Task<void> Processor::Store(SimWord& word, std::uint64_t value) {
   ++stats_.mem_stores;
-  co_await Access(word, AccessKind::kStore, value, 0, nullptr);
+  if (machine_->trace_enabled(hmetrics::kTraceMemory)) {
+    co_await TracedAccess(word, AccessKind::kStore, value, 0, nullptr, "mem/store");
+  } else {
+    co_await Access(word, AccessKind::kStore, value, 0, nullptr);
+  }
 }
 
 void Processor::PostStore(SimWord& word, std::uint64_t value) {
@@ -47,6 +54,9 @@ void Processor::PostStore(SimWord& word, std::uint64_t value) {
 
 Task<std::uint64_t> Processor::FetchStore(SimWord& word, std::uint64_t value) {
   ++stats_.atomic_ops;
+  if (machine_->trace_enabled(hmetrics::kTraceMemory)) {
+    return TracedAccess(word, AccessKind::kSwap, value, 0, nullptr, "mem/swap");
+  }
   return Access(word, AccessKind::kSwap, value, 0, nullptr);
 }
 
@@ -81,6 +91,17 @@ Task<void> Processor::BackoffDelay(Tick cycles) {
   if (cycles > 0) {
     co_await engine().Delay(cycles);
   }
+}
+
+Task<std::uint64_t> Processor::TracedAccess(SimWord& word, AccessKind kind,
+                                            std::uint64_t operand, std::uint64_t expected,
+                                            bool* cas_ok, const char* name) {
+  hmetrics::TraceSession* tr = machine_->trace();
+  const auto span = tr->BeginSpan(hmetrics::kTraceMemory, name, id_, now());
+  tr->AddArg(span, "home", std::to_string(word.home));
+  const std::uint64_t old = co_await Access(word, kind, operand, expected, cas_ok);
+  tr->EndSpan(span, now());
+  co_return old;
 }
 
 Task<std::uint64_t> Processor::Access(SimWord& word, AccessKind kind, std::uint64_t operand,

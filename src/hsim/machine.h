@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/hmetrics/trace.h"
 #include "src/hsim/engine.h"
 #include "src/hsim/opstats.h"
 #include "src/hsim/random.h"
@@ -132,6 +133,13 @@ class Processor {
  private:
   enum class AccessKind { kLoad, kStore, kSwap, kCas, kFetchAdd };
 
+  // Access wrapped in an hmetrics span (only instantiated when the machine's
+  // trace session has the memory category enabled): the span covers the whole
+  // access including its queueing time at buses/ring/module, so contention is
+  // directly visible in the trace viewer.
+  Task<std::uint64_t> TracedAccess(SimWord& word, AccessKind kind, std::uint64_t operand,
+                                   std::uint64_t expected, bool* cas_ok, const char* name);
+
   // Routes an access to `word`'s home module and applies the value operation
   // at the module's ordering point.  Returns the value read (old value for
   // RMW ops; for kCas the returned value is the old value and `*cas_ok`
@@ -156,6 +164,21 @@ class Machine {
   const MachineConfig& config() const { return config_; }
   Engine& engine() { return *engine_; }
 
+  // --- tracing ----------------------------------------------------------------
+  // Attaches an hmetrics trace session.  Producers (locks, the memory system,
+  // the kernel's RPC layer) emit spans onto it; recording never advances
+  // simulated time, so a traced run is bit-identical to an untraced one.
+  void set_trace(hmetrics::TraceSession* trace) {
+    trace_ = trace;
+    if (trace_ != nullptr) {
+      trace_->set_ticks_per_us(static_cast<double>(kCyclesPerMicrosecond));
+    }
+  }
+  hmetrics::TraceSession* trace() { return trace_; }
+  bool trace_enabled(hmetrics::TraceCategory cat) const {
+    return trace_ != nullptr && trace_->enabled(cat);
+  }
+
   std::uint32_t num_processors() const { return config_.num_processors(); }
   Processor& processor(ProcId id) { return *processors_[id]; }
 
@@ -178,6 +201,7 @@ class Machine {
  private:
   Engine* engine_;
   MachineConfig config_;
+  hmetrics::TraceSession* trace_ = nullptr;
   std::vector<std::unique_ptr<Resource>> memories_;
   std::vector<std::unique_ptr<Resource>> buses_;
   std::unique_ptr<Resource> ring_;

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "src/hmetrics/registry.h"
+
 namespace hsim {
 
 struct OpStats {
@@ -33,7 +35,31 @@ struct OpStats {
     d.idle_cycles = idle_cycles - other.idle_cycles;
     return d;
   }
+
+  OpStats& operator+=(const OpStats& other) {
+    atomic_ops += other.atomic_ops;
+    mem_loads += other.mem_loads;
+    mem_stores += other.mem_stores;
+    reg_instrs += other.reg_instrs;
+    branches += other.branches;
+    idle_cycles += other.idle_cycles;
+    return *this;
+  }
 };
+
+// Charges an OpStats delta into an hmetrics registry, one counter series per
+// Figure-4 category.  OpStats itself stays the hot-path accumulator (a plain
+// struct the simulated locks bump inline, preserving exact Figure-4 counts);
+// this is the bridge that makes the same numbers visible as labeled series.
+inline void ChargeOpStats(hmetrics::Registry* registry, const OpStats& stats,
+                          const hmetrics::Labels& labels) {
+  registry->counter("sim.atomic_ops", labels).Add(stats.atomic_ops);
+  registry->counter("sim.mem_loads", labels).Add(stats.mem_loads);
+  registry->counter("sim.mem_stores", labels).Add(stats.mem_stores);
+  registry->counter("sim.reg_instrs", labels).Add(stats.reg_instrs);
+  registry->counter("sim.branches", labels).Add(stats.branches);
+  registry->counter("sim.idle_cycles", labels).Add(stats.idle_cycles);
+}
 
 }  // namespace hsim
 

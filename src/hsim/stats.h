@@ -1,67 +1,23 @@
 // Latency recording for the experiment harnesses.
+//
+// LatencyRecorder is the simulator-facing view of hmetrics::LatencyHistogram:
+// the same streaming, sorted-cache histogram (sort once, invalidate on
+// insert) plus the tick<->microsecond conversions of the 16 MHz HECTOR model.
 
 #ifndef HSIM_STATS_H_
 #define HSIM_STATS_H_
 
-#include <algorithm>
 #include <cstdint>
-#include <vector>
 
+#include "src/hmetrics/histogram.h"
 #include "src/hsim/types.h"
 
 namespace hsim {
 
-class LatencyRecorder {
+class LatencyRecorder : public hmetrics::LatencyHistogram {
  public:
-  void Record(Tick t) {
-    samples_.push_back(t);
-    sum_ += t;
-  }
-
-  std::uint64_t count() const { return samples_.size(); }
-  double mean() const {
-    return samples_.empty() ? 0.0
-                            : static_cast<double>(sum_) / static_cast<double>(samples_.size());
-  }
   double mean_us() const { return mean() / static_cast<double>(kCyclesPerMicrosecond); }
-
-  Tick max() const {
-    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
-  }
-  Tick min() const {
-    return samples_.empty() ? 0 : *std::min_element(samples_.begin(), samples_.end());
-  }
-
-  // p in [0,100].
-  Tick percentile(double p) const {
-    if (samples_.empty()) {
-      return 0;
-    }
-    std::vector<Tick> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-    return sorted[static_cast<std::size_t>(rank + 0.5)];
-  }
-
-  // Fraction of samples strictly above `threshold` ticks.
-  double fraction_above(Tick threshold) const {
-    if (samples_.empty()) {
-      return 0.0;
-    }
-    std::uint64_t n = 0;
-    for (Tick s : samples_) {
-      if (s > threshold) {
-        ++n;
-      }
-    }
-    return static_cast<double>(n) / static_cast<double>(samples_.size());
-  }
-
-  const std::vector<Tick>& samples() const { return samples_; }
-
- private:
-  std::vector<Tick> samples_;
-  std::uint64_t sum_ = 0;
+  double percentile_us(double p) const { return TicksToUs(percentile(p)); }
 };
 
 }  // namespace hsim

@@ -1,0 +1,125 @@
+// Writer/parser round-trip tests: the parser exists to read our own writer's
+// output back, so every escape and number form the writer can emit must
+// survive a round trip, and malformed input must be rejected with an error.
+
+#include "src/hmetrics/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace hmetrics {
+namespace {
+
+TEST(JsonWriter, NestedStructure) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("a", 1.0);
+  w.Key("b");
+  w.BeginArray();
+  w.Number(1);
+  w.Number(2);
+  w.BeginObject();
+  w.Field("c", "x");
+  w.EndObject();
+  w.EndArray();
+  w.Field("d", true);
+  w.Key("e");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1,2,{"c":"x"}],"d":true,"e":null})");
+}
+
+TEST(JsonWriter, NumberFormatting) {
+  std::string out;
+  JsonNumber(42.0, &out);
+  EXPECT_EQ(out, "42");  // integral doubles print without a mantissa
+  out.clear();
+  JsonNumber(-7.0, &out);
+  EXPECT_EQ(out, "-7");
+  out.clear();
+  JsonNumber(std::numeric_limits<double>::infinity(), &out);
+  EXPECT_EQ(out, "0");  // JSON has no inf/nan
+  out.clear();
+  JsonNumber(std::numeric_limits<double>::quiet_NaN(), &out);
+  EXPECT_EQ(out, "0");
+}
+
+TEST(JsonRoundTrip, StringEscaping) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctl\x01 end";
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("s", nasty);
+  w.EndObject();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(w.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc["s"].string_value, nasty);
+}
+
+TEST(JsonRoundTrip, FractionalNumberPrecision) {
+  const double v = 230.43751234567891;
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(v);
+  w.Number(-0.0625);
+  w.Number(1e-9);
+  w.EndArray();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser::Parse(w.str(), &doc));
+  ASSERT_EQ(doc.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at(0).number, v);  // %.17g round-trips doubles
+  EXPECT_DOUBLE_EQ(doc.at(1).number, -0.0625);
+  EXPECT_DOUBLE_EQ(doc.at(2).number, 1e-9);
+}
+
+TEST(JsonParser, Literals) {
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser::Parse("[true,false,null]", &doc));
+  EXPECT_EQ(doc.at(0).kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(doc.at(0).bool_value);
+  EXPECT_FALSE(doc.at(1).bool_value);
+  EXPECT_EQ(doc.at(2).kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParser, SafeMissLookups) {
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser::Parse(R"({"a":{"b":3}})", &doc));
+  EXPECT_DOUBLE_EQ(doc["a"]["b"].number, 3.0);
+  // Chained lookups through missing keys land on null, never UB.
+  EXPECT_EQ(doc["nope"]["deeper"].kind, JsonValue::Kind::kNull);
+  EXPECT_FALSE(doc.Has("nope"));
+  EXPECT_EQ(doc.at(99).kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  const char* bad[] = {
+      "{",           // unterminated object
+      "[1,",         // unterminated array
+      R"({"a":})",   // missing value
+      "1 x",         // trailing garbage
+      "tru",         // truncated literal
+      R"("abc)",     // unterminated string
+      R"({"a" 1})",  // missing colon
+      "",            // empty input
+  };
+  for (const char* text : bad) {
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(JsonParser::Parse(text, &doc, &error)) << "input: " << text;
+    EXPECT_FALSE(error.empty()) << "input: " << text;
+  }
+}
+
+TEST(JsonParser, WhitespaceTolerant) {
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser::Parse("  {\n\t\"a\" : [ 1 , 2 ] ,\r\n \"b\":{} } ", &doc));
+  EXPECT_EQ(doc["a"].array.size(), 2u);
+  EXPECT_TRUE(doc["b"].is_object());
+}
+
+}  // namespace
+}  // namespace hmetrics

@@ -1,0 +1,173 @@
+// End-to-end trace tests: a traced Figure-5 lock-stress run and a traced
+// kernel RPC exchange must export Chrome trace_event JSON that parses back
+// and contains the expected spans -- and attaching a trace must not perturb
+// simulated timing (the trace is a pure observer).
+
+#include "src/hmetrics/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/hkernel/kernel.h"
+#include "src/hmetrics/json.h"
+#include "src/hsim/engine.h"
+#include "src/hsim/locks/stress.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/types.h"
+
+namespace hmetrics {
+namespace {
+
+// Counts events with the given name/ph in a parsed Chrome trace document.
+int CountEvents(const JsonValue& doc, const std::string& name, const std::string& ph) {
+  int n = 0;
+  for (const JsonValue& e : doc["traceEvents"].array) {
+    if (e["name"].string_value == name && e["ph"].string_value == ph) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+hsim::LockStressParams SmallStressParams() {
+  hsim::LockStressParams params;
+  params.kind = hsim::LockKind::kMcsH2;
+  params.processors = 4;
+  params.hold = hsim::UsToTicks(10);
+  params.warmup = hsim::UsToTicks(100);
+  params.duration = hsim::UsToTicks(500);
+  return params;
+}
+
+TEST(TraceSessionTest, BasicSpanExport) {
+  TraceSession trace(kTraceLocks, /*ticks_per_us=*/16.0);
+  const TraceSession::SpanId id = trace.BeginSpan(kTraceLocks, "lock/acquire", 3, 160);
+  trace.AddArg(id, "lock", "ttas");
+  trace.EndSpan(id, 173);
+  trace.Instant(kTraceLocks, "lock/release", 3, 400);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+  ASSERT_EQ(doc["traceEvents"].array.size(), 2u);
+
+  const JsonValue& span = doc["traceEvents"].at(0);
+  EXPECT_EQ(span["ph"].string_value, "X");
+  EXPECT_EQ(span["cat"].string_value, "locks");
+  EXPECT_DOUBLE_EQ(span["ts"].number, 10.0);        // 160 ticks / 16 ticks-per-us
+  EXPECT_DOUBLE_EQ(span["dur"].number, 13.0 / 16.0);
+  EXPECT_DOUBLE_EQ(span["tid"].number, 3.0);
+  EXPECT_EQ(span["args"]["lock"].string_value, "ttas");
+
+  const JsonValue& inst = doc["traceEvents"].at(1);
+  EXPECT_EQ(inst["ph"].string_value, "i");
+  EXPECT_DOUBLE_EQ(inst["ts"].number, 25.0);
+}
+
+TEST(TraceSessionTest, LockStressExportsAcquireSpans) {
+  // The Figure-5 acceptance path: trace a contended run, export Chrome JSON,
+  // and find lock-acquire spans in it.
+  TraceSession trace(kTraceLocks);
+  hsim::LockStressParams params = SmallStressParams();
+  params.trace = &trace;
+  const hsim::LockStressResult result = hsim::RunLockStress(params);
+  ASSERT_GT(result.acquisitions, 0u);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+
+  const int acquires = CountEvents(doc, "lock/acquire", "X");
+  const int releases = CountEvents(doc, "lock/release", "i");
+  EXPECT_GT(acquires, 0);
+  EXPECT_GT(releases, 0);
+  // One release instant per completed acquire span (the final holds may still
+  // be open at the deadline, so allow a small gap).
+  EXPECT_GE(acquires, releases);
+  EXPECT_LE(acquires - releases, static_cast<int>(params.processors));
+
+  for (const JsonValue& e : doc["traceEvents"].array) {
+    if (e["name"].string_value != "lock/acquire") {
+      continue;
+    }
+    EXPECT_EQ(e["cat"].string_value, "locks");
+    EXPECT_TRUE(e["ts"].is_number());
+    EXPECT_TRUE(e["dur"].is_number());
+    EXPECT_GE(e["dur"].number, 0.0);
+    // Track ids are processor ids; only `processors` lanes participate.
+    EXPECT_LT(e["tid"].number, static_cast<double>(params.processors));
+  }
+}
+
+TEST(TraceSessionTest, DisabledCategoryRecordsNothing) {
+  // A session listening only for RPC events attached to a lock run stays
+  // empty: producers test the category before recording.
+  TraceSession trace(kTraceRpc);
+  hsim::LockStressParams params = SmallStressParams();
+  params.trace = &trace;
+  hsim::RunLockStress(params);
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(TraceSessionTest, TracedRunIsBitIdentical) {
+  hsim::LockStressParams params = SmallStressParams();
+  const hsim::LockStressResult plain = hsim::RunLockStress(params);
+
+  TraceSession trace(kTraceAll & ~kTraceMemory);
+  params.trace = &trace;
+  const hsim::LockStressResult traced = hsim::RunLockStress(params);
+
+  EXPECT_EQ(plain.acquisitions, traced.acquisitions);
+  EXPECT_EQ(plain.window_ops, traced.window_ops);
+  EXPECT_EQ(plain.acquire_latency.count(), traced.acquire_latency.count());
+  EXPECT_DOUBLE_EQ(plain.little_response_us(), traced.little_response_us());
+  EXPECT_EQ(plain.bus_wait, traced.bus_wait);
+  EXPECT_EQ(plain.mem_wait, traced.mem_wait);
+}
+
+TEST(TraceSessionTest, KernelRpcExportsCallAndHandleSpans) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  hkernel::KernelSystem system(&machine, [] {
+    hkernel::KernelConfig c;
+    c.cluster_size = 4;
+    return c;
+  }());
+
+  TraceSession trace(kTraceRpc);
+  machine.set_trace(&trace);
+
+  bool stop = false;
+  for (hsim::ProcId p = 1; p < machine.num_processors(); ++p) {
+    engine.Spawn(system.IdleLoop(machine.processor(p), &stop));
+  }
+  engine.Spawn([](hkernel::KernelSystem* sys, hsim::Machine* m,
+                  bool* stop_flag) -> hsim::Task<void> {
+    co_await sys->NullRpc(m->processor(0), 1);
+    co_await sys->NullRpc(m->processor(0), 2);
+    *stop_flag = true;
+  }(&system, &machine, &stop));
+  engine.RunUntilIdle();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+
+  EXPECT_EQ(CountEvents(doc, "rpc/call", "X"), 2);
+  EXPECT_GE(CountEvents(doc, "rpc/handle", "X"), 2);
+
+  for (const JsonValue& e : doc["traceEvents"].array) {
+    if (e["name"].string_value == "rpc/call") {
+      EXPECT_EQ(e["cat"].string_value, "rpc");
+      EXPECT_EQ(e["args"]["op"].string_value, "null");
+      EXPECT_FALSE(e["args"]["target"].string_value.empty());
+      EXPECT_GT(e["dur"].number, 0.0);  // a round trip takes simulated time
+    } else if (e["name"].string_value == "rpc/handle") {
+      EXPECT_EQ(e["args"]["op"].string_value, "null");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmetrics
