@@ -3,20 +3,26 @@
 # machine-readable results file BENCH_RESULTS.json.
 #
 # Flags:
-#   --full   run benches at paper length (default is --smoke: small iteration
-#            counts that exercise every code path in seconds)
-#   --tsan   additionally build with -DHSIM_SANITIZE=thread in build-tsan/
-#            and run the native lock tests under ThreadSanitizer
+#   --full    run benches at paper length (default is --smoke: small iteration
+#             counts that exercise every code path in seconds)
+#   --tsan    additionally build with -DHSIM_SANITIZE=thread in build-tsan/
+#             and run the native lock tests under ThreadSanitizer
+#   --hcheck  additionally rerun the hcheck model-checker suite with
+#             HCHECK_EXHAUSTIVE=1 (deeper preemption bound, larger schedule
+#             budgets — minutes, not seconds).  The bounded hcheck suite
+#             always runs as part of ctest above.
 set -e
 cd "$(dirname "$0")"
 
 SMOKE="--smoke"
 TSAN=0
+HCHECK=0
 for arg in "$@"; do
   case "$arg" in
     --full) SMOKE="" ;;
     --tsan) TSAN=1 ;;
-    *) echo "usage: $0 [--full] [--tsan]" >&2; exit 2 ;;
+    --hcheck) HCHECK=1 ;;
+    *) echo "usage: $0 [--full] [--tsan] [--hcheck]" >&2; exit 2 ;;
   esac
 done
 
@@ -63,6 +69,11 @@ with open("BENCH_RESULTS.json", "w") as f:
 print(f"BENCH_RESULTS.json: {len(reports)} reports, "
       f"{sum(len(r['series']) for r in reports)} series")
 EOF
+
+if [ "$HCHECK" = 1 ]; then
+  echo "==== hcheck exhaustive sweep (HCHECK_EXHAUSTIVE=1)"
+  HCHECK_EXHAUSTIVE=1 ./build/tests/hcheck_tests
+fi
 
 if [ "$TSAN" = 1 ]; then
   cmake -B build-tsan -S . -DHSIM_SANITIZE=thread

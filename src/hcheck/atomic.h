@@ -1,0 +1,192 @@
+// hcheck::Atomic<T> — a std::atomic<T> stand-in that runs on the hcheck
+// weak-memory model (model.h) instead of the host hardware, so acquire/
+// release/relaxed visibility bugs are found on any machine.
+//
+// Interface subset: the operations the hlock primitives use (load, store,
+// exchange, compare_exchange_{strong,weak}, fetch_add, fetch_sub).  Model
+// simplifications (documented in DESIGN.md): compare_exchange_weak never
+// fails spuriously, CAS reads the newest store even on failure, and seq_cst
+// is modeled slightly stronger than the C++ total order.
+
+#ifndef HCHECK_ATOMIC_H_
+#define HCHECK_ATOMIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "src/hcheck/runtime.h"
+
+namespace hcheck {
+
+namespace detail {
+
+template <class T>
+std::uint64_t ValueBits(const T& v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T) < sizeof(bits) ? sizeof(T) : sizeof(bits));
+  return bits;
+}
+
+template <class T>
+bool BitsEqual(const T& a, const T& b) {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+inline Runtime& RequireRuntime(const char* what) {
+  Runtime* rt = Runtime::Current();
+  if (rt == nullptr) {
+    std::fprintf(stderr, "hcheck: %s outside an hcheck::Check execution\n", what);
+    std::abort();
+  }
+  return *rt;
+}
+
+}  // namespace detail
+
+template <class T>
+class Atomic {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "hcheck::Atomic requires a trivially copyable T (like std::atomic)");
+
+ public:
+  Atomic() : Atomic(T{}) {}
+  Atomic(T v) {  // NOLINT(google-explicit-constructor): mirrors std::atomic
+    loc_ = detail::RequireRuntime("Atomic constructed").NewLocation();
+    values_.push_back(v);
+  }
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    auto* rt = detail::Runtime::Current();
+    if (rt == nullptr || rt->aborting()) {
+      return values_.back();  // benign: only reached while unwinding
+    }
+    rt->SchedulePoint("load");
+    const std::size_t idx = rt->PickLoadIndex(*loc_, mo);
+    T v = values_[idx];
+    rt->Trace("load", 'a', loc_->id, true, detail::ValueBits(v), static_cast<int>(mo));
+    return v;
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    auto* rt = detail::Runtime::Current();
+    if (rt == nullptr || rt->aborting()) {
+      return;  // dropped during teardown; no thread will look again
+    }
+    rt->SchedulePoint("store");
+    rt->CommitStore(*loc_, mo);
+    values_.push_back(v);
+    rt->Trace("store", 'a', loc_->id, true, detail::ValueBits(v), static_cast<int>(mo));
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    auto* rt = detail::Runtime::Current();
+    if (rt == nullptr || rt->aborting()) {
+      return values_.back();
+    }
+    rt->SchedulePoint("xchg");
+    const std::size_t r = rt->RmwReadLatest(*loc_, mo);
+    T old = values_[r];
+    rt->CommitStore(*loc_, mo, r);
+    values_.push_back(v);
+    rt->Trace("xchg", 'a', loc_->id, true, detail::ValueBits(v), static_cast<int>(mo));
+    return old;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order success,
+                               std::memory_order failure) {
+    auto* rt = detail::Runtime::Current();
+    if (rt == nullptr || rt->aborting()) {
+      expected = values_.back();
+      return false;
+    }
+    rt->SchedulePoint("cas");
+    const std::size_t latest = loc_->stores.size() - 1;
+    const T latest_value = values_[latest];  // copy: vector<bool> proxies
+    if (detail::BitsEqual(latest_value, expected)) {
+      rt->RmwReadLatest(*loc_, success);
+      rt->CommitStore(*loc_, success, latest);
+      values_.push_back(desired);
+      rt->Trace("cas", 'a', loc_->id, true, detail::ValueBits(desired),
+                static_cast<int>(success));
+      return true;
+    }
+    // Failure: a plain load of the newest store with the failure ordering.
+    rt->RmwReadLatest(*loc_, failure);
+    expected = latest_value;
+    rt->Trace("cas!", 'a', loc_->id, true, detail::ValueBits(expected),
+              static_cast<int>(failure));
+    return false;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo, FailureOrder(mo));
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo);
+  }
+
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order mo = std::memory_order_seq_cst) {
+    return Rmw([delta](T old) { return static_cast<T>(old + delta); }, mo, "fadd");
+  }
+
+  template <class U = T, class = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T delta, std::memory_order mo = std::memory_order_seq_cst) {
+    return Rmw([delta](T old) { return static_cast<T>(old - delta); }, mo, "fsub");
+  }
+
+ private:
+  static std::memory_order FailureOrder(std::memory_order mo) {
+    if (mo == std::memory_order_acq_rel) return std::memory_order_acquire;
+    if (mo == std::memory_order_release) return std::memory_order_relaxed;
+    return mo;
+  }
+
+  template <class Fn>
+  T Rmw(Fn fn, std::memory_order mo, const char* what) {
+    auto* rt = detail::Runtime::Current();
+    if (rt == nullptr || rt->aborting()) {
+      return values_.back();
+    }
+    rt->SchedulePoint(what);
+    const std::size_t r = rt->RmwReadLatest(*loc_, mo);
+    T old = values_[r];
+    rt->CommitStore(*loc_, mo, r);
+    values_.push_back(fn(old));
+    rt->Trace(what, 'a', loc_->id, true, detail::ValueBits(values_.back()),
+              static_cast<int>(mo));
+    return old;
+  }
+
+  detail::Location* loc_ = nullptr;
+  std::vector<T> values_;  // index-parallel to loc_->stores
+};
+
+// std::atomic_thread_fence for the model.
+inline void ThreadFence(std::memory_order mo) {
+  auto* rt = detail::Runtime::Current();
+  if (rt == nullptr || rt->aborting()) {
+    return;
+  }
+  rt->SchedulePoint("fence");
+  rt->Fence(mo);
+}
+
+}  // namespace hcheck
+
+#endif  // HCHECK_ATOMIC_H_

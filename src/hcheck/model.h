@@ -1,0 +1,85 @@
+// hcheck memory model primitives (see DESIGN.md, "hcheck" section).
+//
+// The model is a loom/relacy-style operational weak-memory model:
+//
+//   - Every atomic location keeps its full *modification order*: the list of
+//     all stores ever performed, in execution order.  A load does not have to
+//     read the newest store; it may read any store that coherence and
+//     happens-before still allow, and the schedule explorer branches on that
+//     choice.  This is how Dekker-style store-load races are found on an x86
+//     host whose hardware would hide them.
+//   - Happens-before is tracked with per-thread vector clocks.  A release
+//     store attaches the storing thread's clock as a "message"; an acquire
+//     load that reads it joins the message into its own clock.  Fences and
+//     read-modify-writes follow the C++20 rules (release sequences are the
+//     RMW-only C++20 kind).
+//   - seq_cst operations additionally synchronize through one global clock,
+//     which serializes them in execution order.  This is slightly *stronger*
+//     than the C++ total order S (every seq_cst op acts like it is fenced),
+//     so a program the checker passes may still have seq_cst-only bugs that
+//     need the weaker axiomatic model; every bug it reports is real.
+//
+// What is deliberately not modeled: non-atomic data races (use TSan for
+// those), consume ordering (treated as acquire), spurious CAS failures
+// (compare_exchange_weak behaves like _strong), and out-of-thin-air values.
+
+#ifndef HCHECK_MODEL_H_
+#define HCHECK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcheck {
+
+// Virtual threads per checked program.  Small on purpose: exploration is
+// exponential in the thread count and the paper's protocols need 2-4.
+inline constexpr std::uint32_t kMaxModelThreads = 8;
+
+struct VectorClock {
+  std::uint32_t c[kMaxModelThreads] = {};
+
+  void Join(const VectorClock& o) {
+    for (std::uint32_t i = 0; i < kMaxModelThreads; ++i) {
+      if (o.c[i] > c[i]) {
+        c[i] = o.c[i];
+      }
+    }
+  }
+
+  // Does this clock know about event `ts` of thread `tid`?
+  bool Covers(std::uint32_t tid, std::uint32_t ts) const { return c[tid] >= ts; }
+};
+
+namespace detail {
+
+// One store in a location's modification order.  The stored value itself
+// lives in the typed hcheck::Atomic<T> wrapper, index-parallel to this.
+struct StoreMeta {
+  std::uint32_t tid = 0;  // storing thread
+  std::uint32_t ts = 0;   // that thread's clock component at the store
+  VectorClock msg;        // what an acquire load of this store learns
+};
+
+struct Location {
+  std::vector<StoreMeta> stores;                    // modification order
+  std::uint32_t floor[kMaxModelThreads] = {};       // per-thread coherence floor
+  std::uint32_t stale_left[kMaxModelThreads] = {};  // bounded-staleness budget
+  std::uint32_t id = 0;                             // for traces ("a<id>")
+};
+
+struct MutexState {
+  int owner = -1;  // virtual thread id, -1 when free
+  VectorClock clk;  // accumulated release clocks
+  std::uint32_t id = 0;  // for traces ("m<id>")
+};
+
+struct CondVarState {
+  std::vector<std::uint32_t> waiters;  // FIFO; notify wakes the head
+  std::uint32_t id = 0;                // for traces ("cv<id>")
+};
+
+}  // namespace detail
+}  // namespace hcheck
+
+#endif  // HCHECK_MODEL_H_

@@ -13,6 +13,9 @@
 //   never returned to the allocator while the list is in use -- the same
 //   footnote-2 discipline the reserve bits rely on; the pop-side version
 //   counter closes the remaining window.
+//
+// Templated on the Platform policy (src/hlock/platform.h); the unsuffixed
+// aliases bind StdPlatform.
 
 #ifndef HLOCK_LOCK_FREE_H_
 #define HLOCK_LOCK_FREE_H_
@@ -20,9 +23,12 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/hlock/platform.h"
+
 namespace hlock {
 
-class LockFreeCounter {
+template <class Platform = StdPlatform>
+class BasicLockFreeCounter {
  public:
   void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   std::int64_t Read() const { return value_.load(std::memory_order_relaxed); }
@@ -39,17 +45,21 @@ class LockFreeCounter {
   }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  typename Platform::template Atomic<std::int64_t> value_{0};
 };
 
-// Intrusive node for LockFreeFreeList.
-struct LockFreeNode {
-  std::atomic<LockFreeNode*> next{nullptr};
+// Intrusive node for BasicLockFreeFreeList.
+template <class Platform = StdPlatform>
+struct BasicLockFreeNode {
+  typename Platform::template Atomic<BasicLockFreeNode*> next{nullptr};
 };
 
-class LockFreeFreeList {
+template <class Platform = StdPlatform>
+class BasicLockFreeFreeList {
  public:
-  void Push(LockFreeNode* node) {
+  using Node = BasicLockFreeNode<Platform>;
+
+  void Push(Node* node) {
     Head expected = head_.load(std::memory_order_relaxed);
     Head desired;
     do {
@@ -59,7 +69,7 @@ class LockFreeFreeList {
                                           std::memory_order_relaxed));
   }
 
-  LockFreeNode* Pop() {
+  Node* Pop() {
     Head expected = head_.load(std::memory_order_acquire);
     while (expected.node != nullptr) {
       // Reading node->next is safe: nodes are type-stable (never freed to the
@@ -78,13 +88,17 @@ class LockFreeFreeList {
 
  private:
   struct Head {
-    LockFreeNode* node = nullptr;
+    Node* node = nullptr;
     std::uint64_t version = 0;
   };
   // 16-byte atomic: uses cmpxchg16b where available, a libatomic lock
   // otherwise (still correct).
-  std::atomic<Head> head_{};
+  typename Platform::template Atomic<Head> head_{};
 };
+
+using LockFreeCounter = BasicLockFreeCounter<>;
+using LockFreeNode = BasicLockFreeNode<>;
+using LockFreeFreeList = BasicLockFreeFreeList<>;
 
 }  // namespace hlock
 

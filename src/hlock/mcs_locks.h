@@ -17,6 +17,11 @@
 //
 // All variants are FIFO-fair (up to usurpation windows in the swap-only
 // release) and waiters spin on their own cache line.
+//
+// Every lock is templated on the Platform policy (src/hlock/platform.h); the
+// unsuffixed aliases bind StdPlatform and are the production types.  The
+// hcheck model checker instantiates the same code with hcheck::Platform to
+// schedule-check it (tests/hcheck/mcs_locks_hcheck_test.cc).
 
 #ifndef HLOCK_MCS_LOCKS_H_
 #define HLOCK_MCS_LOCKS_H_
@@ -24,31 +29,47 @@
 #include <atomic>
 #include <cstdint>
 
-#include "src/hlock/backoff.h"
 #include "src/hlock/padded.h"
-#include "src/hlock/thread_id.h"
+#include "src/hlock/platform.h"
 
 namespace hlock {
 
 // Classic MCS lock with an explicit, caller-owned queue node and CAS release.
-class McsLock {
+// lock() is split into Enqueue/WaitForGrant so a checker (or instrumented
+// caller) can observe the moment a thread takes its place in the queue —
+// that is the instant that fixes its FIFO position.
+template <class Platform = StdPlatform>
+class BasicMcsLock {
  public:
   struct QNode {
-    std::atomic<QNode*> next{nullptr};
-    std::atomic<bool> locked{false};
+    typename Platform::template Atomic<QNode*> next{nullptr};
+    typename Platform::template Atomic<bool> locked{false};
   };
 
-  void lock(QNode& node) {
+  // Swaps the node into the queue.  Returns true if the lock was acquired
+  // immediately (no predecessor); otherwise the caller holds a queue position
+  // and must call WaitForGrant() before entering the critical section.
+  bool Enqueue(QNode& node) {
     node.next.store(nullptr, std::memory_order_relaxed);
     QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
     if (pred == nullptr) {
-      return;
+      return true;
     }
     node.locked.store(true, std::memory_order_relaxed);
     pred->next.store(&node, std::memory_order_release);
-    Backoff backoff;
+    return false;
+  }
+
+  void WaitForGrant(QNode& node) {
+    typename Platform::Backoff backoff;
     while (node.locked.load(std::memory_order_acquire)) {
       backoff.Pause();
+    }
+  }
+
+  void lock(QNode& node) {
+    if (!Enqueue(node)) {
+      WaitForGrant(node);
     }
   }
 
@@ -60,7 +81,7 @@ class McsLock {
                                         std::memory_order_acquire)) {
         return;
       }
-      Backoff backoff;
+      typename Platform::Backoff backoff;
       while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
         backoff.Pause();
       }
@@ -69,14 +90,16 @@ class McsLock {
   }
 
  private:
-  std::atomic<QNode*> tail_{nullptr};
+  typename Platform::template Atomic<QNode*> tail_{nullptr};
 };
+
+using McsLock = BasicMcsLock<>;
 
 namespace internal {
 
 // Shared implementation of the H1/H2 variants: per-thread pre-initialized
 // nodes and the swap-only release.
-template <bool kCheckSuccessor>
+template <class Platform, bool kCheckSuccessor>
 class HurricaneMcsLock {
  public:
   HurricaneMcsLock() {
@@ -89,7 +112,7 @@ class HurricaneMcsLock {
   HurricaneMcsLock& operator=(const HurricaneMcsLock&) = delete;
 
   void lock() {
-    QNode& node = *nodes_[CurrentThreadId()];
+    QNode& node = *nodes_[Platform::ThreadId()];
     // Modification 1: no initialization stores here; the rest-state invariant
     // (next == nullptr, locked == true) is maintained by the contended paths.
     QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
@@ -97,7 +120,7 @@ class HurricaneMcsLock {
       return;
     }
     pred->next.store(&node, std::memory_order_release);
-    Backoff backoff;
+    typename Platform::Backoff backoff;
     while (node.locked.load(std::memory_order_acquire)) {
       backoff.Pause();
     }
@@ -105,7 +128,7 @@ class HurricaneMcsLock {
   }
 
   void unlock() {
-    QNode& node = *nodes_[CurrentThreadId()];
+    QNode& node = *nodes_[Platform::ThreadId()];
     QNode* succ = nullptr;
     if constexpr (kCheckSuccessor) {
       succ = node.next.load(std::memory_order_acquire);
@@ -121,12 +144,12 @@ class HurricaneMcsLock {
     if (old_tail == &node) {
       return;
     }
-    ++repairs_;
+    repairs_.fetch_add(1, std::memory_order_relaxed);
     // A successor exists but the lock word now reads free: anyone who swapped
     // themselves in believes they hold the lock (the usurper).  Restore the
     // tail and splice our waiters behind the usurper chain.
     QNode* usurper = tail_.exchange(old_tail, std::memory_order_acq_rel);
-    Backoff backoff;
+    typename Platform::Backoff backoff;
     while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
       backoff.Pause();
     }
@@ -141,7 +164,7 @@ class HurricaneMcsLock {
   bool try_lock() {
     // A Distributed Lock acquires by unconditional swap; a true try_lock
     // needs CAS (available natively): grab only if free.
-    QNode& node = *nodes_[CurrentThreadId()];
+    QNode& node = *nodes_[Platform::ThreadId()];
     QNode* expected = nullptr;
     return tail_.compare_exchange_strong(expected, &node, std::memory_order_acq_rel,
                                          std::memory_order_acquire);
@@ -152,19 +175,24 @@ class HurricaneMcsLock {
 
  private:
   struct QNode {
-    std::atomic<QNode*> next{nullptr};
-    std::atomic<bool> locked{true};
+    typename Platform::template Atomic<QNode*> next{nullptr};
+    typename Platform::template Atomic<bool> locked{true};
   };
 
-  std::atomic<QNode*> tail_{nullptr};
-  std::atomic<std::uint64_t> repairs_{0};
-  Padded<QNode> nodes_[kMaxThreads];
+  typename Platform::template Atomic<QNode*> tail_{nullptr};
+  typename Platform::template Atomic<std::uint64_t> repairs_{0};
+  Padded<QNode> nodes_[Platform::kMaxThreads];
 };
 
 }  // namespace internal
 
-using McsH1Lock = internal::HurricaneMcsLock<true>;
-using McsH2Lock = internal::HurricaneMcsLock<false>;
+template <class Platform = StdPlatform>
+using BasicMcsH1Lock = internal::HurricaneMcsLock<Platform, true>;
+template <class Platform = StdPlatform>
+using BasicMcsH2Lock = internal::HurricaneMcsLock<Platform, false>;
+
+using McsH1Lock = BasicMcsH1Lock<>;
+using McsH2Lock = BasicMcsH2Lock<>;
 
 }  // namespace hlock
 

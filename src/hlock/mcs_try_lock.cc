@@ -1,120 +1,10 @@
 #include "src/hlock/mcs_try_lock.h"
 
-#include <mutex>
-
 namespace hlock {
 
-McsTryV2Lock::~McsTryV2Lock() {
-  Node* node = all_nodes_;
-  while (node != nullptr) {
-    Node* next = node->pool_next;
-    delete node;
-    node = next;
-  }
-}
-
-McsTryV2Lock::Node* McsTryV2Lock::AllocNode() {
-  {
-    std::lock_guard<TtasSpinLock> guard(pool_lock_);
-    if (free_list_ != nullptr) {
-      Node* node = free_list_;
-      free_list_ = node->pool_next;
-      node->next.store(nullptr, std::memory_order_relaxed);
-      node->state.store(kWaiting, std::memory_order_relaxed);
-      node->pool_next = nullptr;
-      return node;
-    }
-  }
-  Node* node = new Node;
-  std::lock_guard<TtasSpinLock> guard(pool_lock_);
-  node->pool_next = all_nodes_;
-  all_nodes_ = node;
-  return node;
-}
-
-void McsTryV2Lock::FreeNode(Node* node) {
-  // Note: `all_nodes_` tracking uses pool_next only at allocation time; from
-  // here on pool_next threads the free list.  Nodes are type-stable: they are
-  // only ever reused as queue nodes of this lock.
-  std::lock_guard<TtasSpinLock> guard(pool_lock_);
-  node->pool_next = free_list_;
-  free_list_ = node;
-}
-
-McsTryV2Lock::Node* McsTryV2Lock::Enqueue(bool* immediate) {
-  Node* node = AllocNode();
-  Node* pred = tail_.exchange(node, std::memory_order_acq_rel);
-  if (pred == nullptr) {
-    node->state.store(kGranted, std::memory_order_relaxed);
-    *immediate = true;
-  } else {
-    pred->next.store(node, std::memory_order_release);
-    *immediate = false;
-  }
-  return node;
-}
-
-void McsTryV2Lock::lock() {
-  bool immediate = false;
-  Node* node = Enqueue(&immediate);
-  if (!immediate) {
-    Backoff backoff;
-    while (node->state.load(std::memory_order_acquire) != kGranted) {
-      backoff.Pause();
-    }
-  }
-  *holders_[CurrentThreadId()] = node;
-}
-
-bool McsTryV2Lock::try_lock() {
-  bool immediate = false;
-  Node* node = Enqueue(&immediate);
-  if (immediate) {
-    *holders_[CurrentThreadId()] = node;
-    return true;
-  }
-  // Try to abandon.  If the predecessor granted us the lock in the window,
-  // the CAS fails and we own the lock after all.
-  std::uint32_t expected = kWaiting;
-  if (node->state.compare_exchange_strong(expected, kAbandoned, std::memory_order_acq_rel,
-                                          std::memory_order_acquire)) {
-    // The node stays in the queue; a release will reclaim it.
-    return false;
-  }
-  *holders_[CurrentThreadId()] = node;
-  return true;
-}
-
-void McsTryV2Lock::unlock() {
-  Node*& slot = *holders_[CurrentThreadId()];
-  Node* node = slot;
-  slot = nullptr;
-  while (true) {
-    Node* succ = node->next.load(std::memory_order_acquire);
-    if (succ == nullptr) {
-      Node* expected = node;
-      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-        FreeNode(node);
-        return;
-      }
-      Backoff backoff;
-      while ((succ = node->next.load(std::memory_order_acquire)) == nullptr) {
-        backoff.Pause();
-      }
-    }
-    // Either grant the successor the lock, or -- if it abandoned its attempt
-    // -- reclaim its node and keep walking the queue.
-    std::uint32_t expected = kWaiting;
-    if (succ->state.compare_exchange_strong(expected, kGranted, std::memory_order_acq_rel,
-                                            std::memory_order_acquire)) {
-      FreeNode(node);
-      return;
-    }
-    FreeNode(node);
-    reclaimed_.fetch_add(1, std::memory_order_relaxed);
-    node = succ;  // abandoned: we own it now; continue with its successor
-  }
-}
+// The production instantiations.  Other translation units see the extern
+// template declarations in the header and link against these.
+template class BasicMcsTryV1Lock<StdPlatform>;
+template class BasicMcsTryV2Lock<StdPlatform>;
 
 }  // namespace hlock

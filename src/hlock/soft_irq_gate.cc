@@ -1,93 +1,8 @@
 #include "src/hlock/soft_irq_gate.h"
 
-#include <utility>
-
 namespace hlock {
 
-SoftIrqGate::SoftIrqGate() : head_(&stub_), tail_(&stub_) {}
-
-SoftIrqGate::~SoftIrqGate() {
-  // Drain remaining items without running them.
-  WorkItem* item = tail_;
-  while (item != nullptr) {
-    WorkItem* next = item->next.load(std::memory_order_acquire);
-    if (item != &stub_) {
-      delete item;
-    }
-    item = next;
-  }
-}
-
-void SoftIrqGate::Post(std::function<void()> work) {
-  auto* item = new WorkItem{std::move(work), {nullptr}};
-  const std::uint64_t pending = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
-  while (pending > hw &&
-         !high_water_.compare_exchange_weak(hw, pending, std::memory_order_relaxed)) {
-  }
-  WorkItem* prev = head_.exchange(item, std::memory_order_acq_rel);
-  prev->next.store(item, std::memory_order_release);
-}
-
-void SoftIrqGate::Enter() { ++depth_; }
-
-void SoftIrqGate::Exit() {
-  if (--depth_ == 0) {
-    Drain();
-  }
-}
-
-void SoftIrqGate::Poll() {
-  if (depth_ == 0) {
-    Drain();
-  }
-}
-
-void SoftIrqGate::Drain() {
-  if (draining_) {
-    return;  // a work item polled the gate; do not re-enter
-  }
-  draining_ = true;
-  struct Reset {
-    bool* flag;
-    ~Reset() { *flag = false; }
-  } reset{&draining_};
-  while (true) {
-    WorkItem* tail = tail_;
-    WorkItem* next = tail->next.load(std::memory_order_acquire);
-    if (tail == &stub_) {
-      if (next == nullptr) {
-        return;  // empty
-      }
-      tail_ = next;
-      tail = next;
-      next = next->next.load(std::memory_order_acquire);
-    }
-    if (next != nullptr) {
-      tail_ = next;
-      tail->work();
-      ++executed_;
-      pending_.fetch_sub(1, std::memory_order_relaxed);
-      delete tail;
-      continue;
-    }
-    // tail is the last element; re-insert the stub and retry to detach it.
-    WorkItem* head = head_.load(std::memory_order_acquire);
-    if (tail != head) {
-      return;  // a producer is mid-push; its item will be visible shortly
-    }
-    stub_.next.store(nullptr, std::memory_order_relaxed);
-    WorkItem* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
-    prev->next.store(&stub_, std::memory_order_release);
-    next = tail->next.load(std::memory_order_acquire);
-    if (next != nullptr) {
-      tail_ = next;
-      tail->work();
-      ++executed_;
-      pending_.fetch_sub(1, std::memory_order_relaxed);
-      delete tail;
-    }
-  }
-}
+// The production instantiation; the header declares it extern.
+template class BasicSoftIrqGate<StdPlatform>;
 
 }  // namespace hlock

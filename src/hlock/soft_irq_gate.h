@@ -12,6 +12,9 @@
 //
 // Because deferred work is executed in arrival order when the gate opens,
 // access to the processor is fair -- the property retry-based TryLock lacks.
+//
+// Templated on the Platform policy (src/hlock/platform.h); the unsuffixed
+// alias binds StdPlatform and is explicitly instantiated in soft_irq_gate.cc.
 
 #ifndef HLOCK_SOFT_IRQ_GATE_H_
 #define HLOCK_SOFT_IRQ_GATE_H_
@@ -19,48 +22,81 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
+
+#include "src/hlock/platform.h"
 
 namespace hlock {
 
-class SoftIrqGate {
+template <class Platform = StdPlatform>
+class BasicSoftIrqGate {
  public:
-  SoftIrqGate();
-  ~SoftIrqGate();
-  SoftIrqGate(const SoftIrqGate&) = delete;
-  SoftIrqGate& operator=(const SoftIrqGate&) = delete;
+  BasicSoftIrqGate() : head_(&stub_), tail_(&stub_) {}
+
+  ~BasicSoftIrqGate() {
+    // Drain remaining items without running them.
+    WorkItem* item = tail_;
+    while (item != nullptr) {
+      WorkItem* next = item->next.load(std::memory_order_acquire);
+      if (item != &stub_) {
+        delete item;
+      }
+      item = next;
+    }
+  }
+
+  BasicSoftIrqGate(const BasicSoftIrqGate&) = delete;
+  BasicSoftIrqGate& operator=(const BasicSoftIrqGate&) = delete;
 
   // --- owner-thread operations -------------------------------------------------
 
   // Closes the gate (nestable).  Call before acquiring any lock a handler
   // could need.
-  void Enter();
+  void Enter() { ++depth_; }
 
   // Opens one nesting level; when fully open, runs all deferred work.
-  void Exit();
+  void Exit() {
+    if (--depth_ == 0) {
+      Drain();
+    }
+  }
 
   // Runs pending work if the gate is open.  The owner calls this at its
   // interrupt points (idle loops, spin loops).
-  void Poll();
+  void Poll() {
+    if (depth_ == 0) {
+      Drain();
+    }
+  }
 
   bool closed() const { return depth_ > 0; }
 
   // RAII guard for a masked region.
   class Region {
    public:
-    explicit Region(SoftIrqGate& gate) : gate_(gate) { gate_.Enter(); }
+    explicit Region(BasicSoftIrqGate& gate) : gate_(gate) { gate_.Enter(); }
     ~Region() { gate_.Exit(); }
     Region(const Region&) = delete;
     Region& operator=(const Region&) = delete;
 
    private:
-    SoftIrqGate& gate_;
+    BasicSoftIrqGate& gate_;
   };
 
   // --- any-thread operations ----------------------------------------------------
 
   // Posts work.  If called by the owner with the gate open, consider calling
   // Poll() afterwards; otherwise the work runs at the owner's next Poll/Exit.
-  void Post(std::function<void()> work);
+  void Post(std::function<void()> work) {
+    auto* item = new WorkItem{std::move(work), {nullptr}};
+    const std::uint64_t pending = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+    while (pending > hw &&
+           !high_water_.compare_exchange_weak(hw, pending, std::memory_order_relaxed)) {
+    }
+    WorkItem* prev = head_.exchange(item, std::memory_order_acq_rel);
+    prev->next.store(item, std::memory_order_release);
+  }
 
   // --- statistics -----------------------------------------------------------------
   std::uint64_t executed() const { return executed_; }
@@ -71,23 +107,72 @@ class SoftIrqGate {
  private:
   struct WorkItem {
     std::function<void()> work;
-    std::atomic<WorkItem*> next{nullptr};
+    typename Platform::template Atomic<WorkItem*> next{nullptr};
   };
 
-  void Drain();
+  void Drain() {
+    if (draining_) {
+      return;  // a work item polled the gate; do not re-enter
+    }
+    draining_ = true;
+    struct Reset {
+      bool* flag;
+      ~Reset() { *flag = false; }
+    } reset{&draining_};
+    while (true) {
+      WorkItem* tail = tail_;
+      WorkItem* next = tail->next.load(std::memory_order_acquire);
+      if (tail == &stub_) {
+        if (next == nullptr) {
+          return;  // empty
+        }
+        tail_ = next;
+        tail = next;
+        next = next->next.load(std::memory_order_acquire);
+      }
+      if (next != nullptr) {
+        tail_ = next;
+        tail->work();
+        ++executed_;
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        delete tail;
+        continue;
+      }
+      // tail is the last element; re-insert the stub and retry to detach it.
+      WorkItem* head = head_.load(std::memory_order_acquire);
+      if (tail != head) {
+        return;  // a producer is mid-push; its item will be visible shortly
+      }
+      stub_.next.store(nullptr, std::memory_order_relaxed);
+      WorkItem* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+      prev->next.store(&stub_, std::memory_order_release);
+      next = tail->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        tail_ = next;
+        tail->work();
+        ++executed_;
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        delete tail;
+      }
+    }
+  }
 
   // Vyukov intrusive MPSC queue: producers push to head_, the single consumer
   // pops from tail_.
-  std::atomic<WorkItem*> head_;
+  typename Platform::template Atomic<WorkItem*> head_;
   WorkItem* tail_;
   WorkItem stub_;
 
-  int depth_ = 0;         // owner-only
+  int depth_ = 0;          // owner-only
   bool draining_ = false;  // owner-only: prevents re-entrant drains
   std::uint64_t executed_ = 0;
-  std::atomic<std::uint64_t> high_water_{0};  // CAS-max updated by producers
-  std::atomic<std::uint64_t> pending_{0};
+  typename Platform::template Atomic<std::uint64_t> high_water_{0};  // CAS-max by producers
+  typename Platform::template Atomic<std::uint64_t> pending_{0};
 };
+
+using SoftIrqGate = BasicSoftIrqGate<>;
+
+extern template class BasicSoftIrqGate<StdPlatform>;
 
 }  // namespace hlock
 

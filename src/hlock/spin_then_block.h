@@ -6,24 +6,46 @@
 // case where blocking costs more than the wait), then park on a futex-style
 // wait until the holder wakes us.  Implemented portably with a mutex +
 // condition variable slow path; the fast path is a single CAS.
+//
+// Memory ordering: the blocking handoff is a Dekker store/load pair —
+//
+//     waiter                         releaser
+//     waiters_.fetch_add(1)          locked_.store(false)
+//     <fence seq_cst>                <fence seq_cst>
+//     TryAcquire() (reads locked_)   waiters_.load()  (reads waiters_)
+//
+// Without the seq_cst fences both sides can read the *old* value of the other
+// side's variable (store buffers; allowed by acquire/release alone): the
+// releaser sees waiters_ == 0 and skips the notify, while the waiter saw
+// locked_ == true and parks — a lost wakeup that deadlocks the waiter.  The
+// fences make the two orders inconsistent: at least one side sees the other's
+// store.  If the releaser sees the waiter, it notifies (under sleep_mutex_, so
+// the notify cannot slip between the waiter's failed TryAcquire and its
+// wait()).  If the waiter sees the release, its TryAcquire under sleep_mutex_
+// succeeds and it never parks.
+//
+// `kDekkerFix` exists so the checker tests (tests/hcheck/) can compile the
+// pre-fix shape and demonstrate that hcheck finds the lost wakeup; production
+// aliases always use the fixed form.
 
 #ifndef HLOCK_SPIN_THEN_BLOCK_H_
 #define HLOCK_SPIN_THEN_BLOCK_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
-#include "src/hlock/backoff.h"
+#include "src/hlock/platform.h"
 
 namespace hlock {
 
-class SpinThenBlockLock {
+template <class Platform = StdPlatform, bool kDekkerFix = true>
+class BasicSpinThenBlockLock {
  public:
-  explicit SpinThenBlockLock(std::uint32_t spin_rounds = 64) : spin_rounds_(spin_rounds) {}
-  SpinThenBlockLock(const SpinThenBlockLock&) = delete;
-  SpinThenBlockLock& operator=(const SpinThenBlockLock&) = delete;
+  explicit BasicSpinThenBlockLock(std::uint32_t spin_rounds = 64)
+      : spin_rounds_(spin_rounds) {}
+  BasicSpinThenBlockLock(const BasicSpinThenBlockLock&) = delete;
+  BasicSpinThenBlockLock& operator=(const BasicSpinThenBlockLock&) = delete;
 
   void lock() {
     // Phase 1: optimistic spin.
@@ -31,11 +53,16 @@ class SpinThenBlockLock {
       if (TryAcquire()) {
         return;
       }
-      CpuRelax();
+      Platform::Pause();
     }
-    // Phase 2: block.  Announce ourselves so unlock() knows to signal.
+    // Phase 2: block.  Announce ourselves so unlock() knows to signal; the
+    // announcement must be globally visible before the TryAcquire re-check
+    // below (see the Dekker analysis in the header comment).
     waiters_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> guard(sleep_mutex_);
+    if constexpr (kDekkerFix) {
+      Platform::Fence(std::memory_order_seq_cst);
+    }
+    std::unique_lock<typename Platform::Mutex> guard(sleep_mutex_);
     while (!TryAcquire()) {
       wake_cv_.wait(guard);
     }
@@ -46,10 +73,13 @@ class SpinThenBlockLock {
 
   void unlock() {
     locked_.store(false, std::memory_order_release);
+    if constexpr (kDekkerFix) {
+      Platform::Fence(std::memory_order_seq_cst);
+    }
     if (waiters_.load(std::memory_order_relaxed) > 0) {
       // Take the sleep mutex so the wakeup cannot slip between a waiter's
       // failed TryAcquire and its wait().
-      std::lock_guard<std::mutex> guard(sleep_mutex_);
+      std::lock_guard<typename Platform::Mutex> guard(sleep_mutex_);
       wake_cv_.notify_one();
     }
   }
@@ -63,12 +93,14 @@ class SpinThenBlockLock {
                                            std::memory_order_relaxed);
   }
 
-  std::atomic<bool> locked_{false};
-  std::atomic<std::uint32_t> waiters_{0};
+  typename Platform::template Atomic<bool> locked_{false};
+  typename Platform::template Atomic<std::uint32_t> waiters_{0};
   std::uint32_t spin_rounds_;
-  std::mutex sleep_mutex_;
-  std::condition_variable wake_cv_;
+  typename Platform::Mutex sleep_mutex_;
+  typename Platform::CondVar wake_cv_;
 };
+
+using SpinThenBlockLock = BasicSpinThenBlockLock<>;
 
 }  // namespace hlock
 
