@@ -11,18 +11,23 @@
 #             HCHECK_EXHAUSTIVE=1 (deeper preemption bound, larger schedule
 #             budgets — minutes, not seconds).  The bounded hcheck suite
 #             always runs as part of ctest above.
+#   --faults  additionally run the RPC fault campaign (fig7_fault_tests
+#             --faults: drop/dup sweep with exact-once and determinism
+#             checks) and merge its sweep into BENCH_RESULTS.json
 set -e
 cd "$(dirname "$0")"
 
 SMOKE="--smoke"
 TSAN=0
 HCHECK=0
+FAULTS=0
 for arg in "$@"; do
   case "$arg" in
     --full) SMOKE="" ;;
     --tsan) TSAN=1 ;;
     --hcheck) HCHECK=1 ;;
-    *) echo "usage: $0 [--full] [--tsan] [--hcheck]" >&2; exit 2 ;;
+    --faults) FAULTS=1 ;;
+    *) echo "usage: $0 [--full] [--tsan] [--hcheck] [--faults]" >&2; exit 2 ;;
   esac
 done
 
@@ -45,6 +50,11 @@ mkdir -p "$REPORTS"
     # shellcheck disable=SC2086 # $SMOKE is intentionally word-split
     "$b" $SMOKE --json="$REPORTS/$name.json"
   done
+  if [ "$FAULTS" = 1 ]; then
+    echo "==== fig7_fault_tests --faults"
+    # shellcheck disable=SC2086
+    ./build/bench/fig7_fault_tests $SMOKE --faults --json="$REPORTS/fig7_fault_campaign.json"
+  fi
 } 2>&1 | tee bench_output.txt
 
 # Merge and schema-check the per-bench reports into BENCH_RESULTS.json.

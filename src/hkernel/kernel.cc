@@ -146,8 +146,8 @@ hsim::Task<void> KernelSystem::CallWithRetry(hsim::Processor& p, hsim::ProcId ta
                                              RpcRequest* request, int* retries) {
   CpuKernel& k = cpu(p.id());
   hsim::Tick delay = 64;
+  int consecutive = 0;
   while (true) {
-    ++counters_.rpcs;
     co_await k.Call(p, target, request);
     if (request->status != RpcStatus::kWouldDeadlock) {
       co_return;
@@ -157,6 +157,12 @@ hsim::Task<void> KernelSystem::CallWithRetry(hsim::Processor& p, hsim::ProcId ta
     ++counters_.rpc_would_deadlock;
     if (retries != nullptr) {
       ++*retries;
+    }
+    // Retry-storm watchdog: a reserve bit held this long usually means its
+    // holder is starved (e.g. livelocked behind our own retries).  Escalate
+    // once per storm so livelock shows up as a counter, not a silent hang.
+    if (++consecutive == config_.rpc_storm_threshold) {
+      ++counters_.rpc_retry_storms;
     }
     const hsim::Tick jittered = delay / 2 + p.rng().NextBelow(delay / 2 + 1);
     co_await p.BackoffDelay(jittered);
@@ -421,7 +427,6 @@ hsim::Task<void> KernelSystem::GlobalUpdate(hsim::Processor& p, std::uint64_t pa
 hsim::Task<void> KernelSystem::NullRpc(hsim::Processor& p, std::uint32_t target_cluster) {
   RpcRequest request;
   request.op = RpcOp::kNull;
-  ++counters_.rpcs;
   co_await cpu(p.id()).Call(p, PeerOf(p.id(), target_cluster), &request);
 }
 

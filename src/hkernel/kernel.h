@@ -186,6 +186,13 @@ class KernelSystem {
     std::uint64_t reserve_waits = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t unmaps = 0;
+    // Transport-recovery counters (exact-once invariant: rpc_ops_applied ==
+    // rpcs at quiescence, whatever the fault plan injected).
+    std::uint64_t rpc_ops_applied = 0;   // handler executions (dedup hits excluded)
+    std::uint64_t rpc_retransmits = 0;   // timeout-driven re-sends by initiators
+    std::uint64_t rpc_dup_requests = 0;  // requests discarded by the dedup window
+    std::uint64_t rpc_dup_replies = 0;   // replies discarded as stale/duplicate
+    std::uint64_t rpc_retry_storms = 0;  // CallWithRetry watchdog escalations
   };
   const Counters& counters() const { return counters_; }
   Counters& counters() { return counters_; }
@@ -219,6 +226,11 @@ class KernelSystem {
     metrics_->counter("kernel.reserve_waits").Add(counters_.reserve_waits);
     metrics_->counter("kernel.invalidations").Add(counters_.invalidations);
     metrics_->counter("kernel.unmaps").Add(counters_.unmaps);
+    metrics_->counter("kernel.rpc_ops_applied").Add(counters_.rpc_ops_applied);
+    metrics_->counter("kernel.rpc_retransmits").Add(counters_.rpc_retransmits);
+    metrics_->counter("kernel.rpc_dup_requests").Add(counters_.rpc_dup_requests);
+    metrics_->counter("kernel.rpc_dup_replies").Add(counters_.rpc_dup_replies);
+    metrics_->counter("kernel.rpc_retry_storms").Add(counters_.rpc_retry_storms);
   }
 
  private:

@@ -1,56 +1,148 @@
 #include "src/hkernel/rpc.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/hkernel/kernel.h"
 #include "src/hmetrics/trace.h"
 #include "src/hsim/engine.h"
+#include "src/hsim/fault.h"
 
 namespace hkernel {
 
 namespace {
 
-// Transports a request to the target processor after the interrupt-delivery
-// latency.  Runs as a detached engine task.
+// Transports a packet to the target processor after the interrupt-delivery
+// latency.  Runs as a detached engine task; the packet travels by value, so
+// duplicates and late copies have no lifetime tie to the initiator's frame.
 hsim::Task<void> DeliverAfter(hsim::Engine* engine, hsim::Tick transit, CpuKernel* target,
-                              RpcRequest* request) {
+                              RpcPacket packet) {
   co_await engine->Delay(transit);
-  target->Deliver(request);
+  if (packet.is_reply) {
+    target->DeliverReply(packet);
+  } else {
+    target->Deliver(packet);
+  }
 }
 
 }  // namespace
 
-hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcRequest*>* queue,
+void CpuKernel::Unmask() {
+  if (mask_depth_ <= 0) {
+    std::fprintf(stderr,
+                 "hkernel: unbalanced CpuKernel::Unmask on processor %u (mask depth %d); the "
+                 "soft interrupt gate would stay open inside the next critical section\n",
+                 id_, mask_depth_);
+    std::abort();
+  }
+  --mask_depth_;
+}
+
+void CpuKernel::SendPacket(hsim::Processor& p, hsim::ProcId target, const RpcPacket& packet) {
+  const KernelConfig& cfg = system_->config();
+  hsim::Machine& machine = system_->machine();
+  hsim::Engine& engine = machine.engine();
+  CpuKernel& dest = system_->cpu(target);
+
+  hsim::FaultPlan* plan = machine.fault_plan();
+  if (plan == nullptr) {
+    engine.Spawn(DeliverAfter(&engine, cfg.rpc_transit, &dest, packet));
+    return;
+  }
+  const hsim::FaultLeg leg = packet.is_reply ? hsim::FaultLeg::kReply : hsim::FaultLeg::kRequest;
+  const hsim::FaultPlan::Decision decision =
+      plan->Decide(leg, p.id(), target, static_cast<std::uint8_t>(packet.op));
+  if (machine.trace_enabled(hmetrics::kTraceRpc) && (decision.drop || decision.duplicate)) {
+    machine.trace()->Instant(hmetrics::kTraceRpc,
+                             decision.drop ? "rpc/fault_drop" : "rpc/fault_dup", p.id(),
+                             p.now());
+  }
+  if (decision.drop) {
+    return;
+  }
+  engine.Spawn(DeliverAfter(&engine, cfg.rpc_transit + decision.extra_delay, &dest, packet));
+  if (decision.duplicate) {
+    engine.Spawn(
+        DeliverAfter(&engine, cfg.rpc_transit + decision.dup_extra_delay, &dest, packet));
+  }
+}
+
+void CpuKernel::DeliverReply(const RpcPacket& packet) {
+  if (!call_active_ || pending_.done || packet.seq != pending_.seq) {
+    // A duplicate of a reply we already consumed, or a reply delayed past its
+    // retransmit-satisfied call.  Exact-once: discard, count.
+    ++system_->counters().rpc_dup_replies;
+    return;
+  }
+  pending_.request->status = packet.status;
+  pending_.request->payload = packet.payload;
+  pending_.done = true;
+}
+
+hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcPacket>* queue,
                                         int budget) {
   const KernelConfig& cfg = system_->config();
   hsim::Machine& machine = system_->machine();
   std::uint64_t batch = 0;
   while (!queue->empty() && budget-- > 0) {
-    RpcRequest* request = queue->front();
+    RpcPacket packet = queue->front();
     queue->pop_front();
-    ++handled_;
     ++batch;
+
+    // Dedup: a retransmit of the in-flight request, or of anything already
+    // completed, must not re-run the handler (exact-once).  For the last
+    // completed request the cached reply is retransmitted -- the initiator is
+    // still waiting iff the original reply was lost.
+    PeerState& src = peer(packet.src_proc);
+    if (packet.seq == src.in_progress || packet.seq <= src.last_completed) {
+      ++system_->counters().rpc_dup_requests;
+      co_await p.Compute(cfg.rpc_dispatch / 2);
+      if (packet.seq == src.last_completed && src.has_reply) {
+        co_await p.Compute(cfg.rpc_reply);
+        SendPacket(p, packet.src_proc, src.cached_reply);
+      }
+      continue;
+    }
+
+    ++handled_;
+    src.in_progress = packet.seq;
     in_handler_ = true;
     hmetrics::TraceSession* tr =
         machine.trace_enabled(hmetrics::kTraceRpc) ? machine.trace() : nullptr;
     hmetrics::TraceSession::SpanId span = 0;
     if (tr != nullptr) {
       span = tr->BeginSpan(hmetrics::kTraceRpc, "rpc/handle", p.id(), p.now());
-      tr->AddArg(span, "op", RpcOpName(request->op));
+      tr->AddArg(span, "op", RpcOpName(packet.op));
     }
+    RpcRequest request;
+    request.op = packet.op;
+    request.page = packet.page;
+    request.arg = packet.arg;
+    request.src_proc = packet.src_proc;
+    request.src_cluster = packet.src_cluster;
     co_await p.Compute(cfg.rpc_dispatch);
-    co_await system_->HandleRpc(p, *request);
+    co_await system_->HandleRpc(p, request);
     co_await p.Compute(cfg.rpc_reply);
     in_handler_ = false;
-    assert(request->status != RpcStatus::kPending);
+    assert(request.status != RpcStatus::kPending);
+    ++system_->counters().rpc_ops_applied;
+    src.in_progress = 0;
+    src.last_completed = packet.seq;
+    src.cached_reply = RpcPacket{};
+    src.cached_reply.is_reply = true;
+    src.cached_reply.seq = packet.seq;
+    src.cached_reply.op = packet.op;
+    src.cached_reply.status = request.status;
+    src.cached_reply.payload = request.payload;
+    src.has_reply = true;
     if (tr != nullptr) {
       tr->EndSpan(span, p.now());
     }
-    // The reply travels back to the initiator.  This store is the completion
-    // signal the initiator polls on, and it MUST be the last touch of the
-    // request: the moment the initiator observes it, the request (which
-    // lives in the initiator's frame) may cease to exist.
-    request->reply_visible_at = p.now() + cfg.rpc_transit;
+    // The reply travels back to the initiator through the (possibly faulty)
+    // transport; if it is lost, the initiator's retransmit will hit the dedup
+    // path above and resend the cached copy.
+    SendPacket(p, packet.src_proc, src.cached_reply);
   }
   if (batch > 0 && system_->rpc_batch_depth_hist() != nullptr) {
     system_->rpc_batch_depth_hist()->Record(batch);
@@ -69,10 +161,10 @@ hsim::Task<void> CpuKernel::IrqPoint(hsim::Processor& p) {
     // popped *before* the await: co-located interrupt points interleave at
     // awaits, and two of them must never defer the same request.
     while (!inbox_.empty()) {
-      RpcRequest* request = inbox_.front();
+      RpcPacket packet = inbox_.front();
       inbox_.pop_front();
       co_await p.Compute(system_->config().rpc_dispatch / 2);
-      deferred_.push_back(request);
+      deferred_.push_back(packet);
       ++deferred_total_;
     }
     co_return;
@@ -94,11 +186,32 @@ hsim::Task<void> CpuKernel::IrqPoint(hsim::Processor& p) {
 hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcRequest* request) {
   assert(!masked() && "RPCs must not be issued while holding coarse locks");
   assert(target != id_ && "RPC to self would deadlock");
+  if (call_active_) {
+    // The one-deep dedup window at the target depends on stop-and-wait; a
+    // second in-flight call from this processor would break exact-once.
+    std::fprintf(stderr,
+                 "hkernel: overlapping CpuKernel::Call on processor %u (seq %llu still "
+                 "pending); the RPC protocol is stop-and-wait per processor\n",
+                 id_, static_cast<unsigned long long>(pending_.seq));
+    std::abort();
+  }
   const KernelConfig& cfg = system_->config();
   request->status = RpcStatus::kPending;
-  request->reply_visible_at = 0;
   request->src_proc = id_;
   request->src_cluster = system_->cluster_of_proc(id_);
+  ++system_->counters().rpcs;
+
+  RpcPacket packet;
+  packet.seq = ++next_seq_;
+  packet.op = request->op;
+  packet.page = request->page;
+  packet.arg = request->arg;
+  packet.src_proc = id_;
+  packet.src_cluster = request->src_cluster;
+  call_active_ = true;
+  pending_.seq = packet.seq;
+  pending_.request = request;
+  pending_.done = false;
 
   hsim::Machine& machine = system_->machine();
   hmetrics::TraceSession* tr =
@@ -111,17 +224,36 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
   }
 
   co_await p.Compute(cfg.rpc_send);
-  p.engine().Spawn(
-      DeliverAfter(&p.engine(), cfg.rpc_transit, &system_->cpu(target), request));
+  SendPacket(p, target, packet);
 
   // Wait for the reply.  The processor itself is a schedulable resource: keep
   // servicing our own incoming requests, otherwise two processors calling
-  // each other deadlock (Section 2.3).  reply_visible_at is the completion
-  // signal; the handler writes it last.
-  while (request->reply_visible_at == 0 || p.now() < request->reply_visible_at) {
+  // each other deadlock (Section 2.3).  A lost request or reply surfaces as a
+  // timeout; the retransmit reuses the sequence number, so the target either
+  // re-delivers its cached reply or is still working on the original.
+  hsim::Tick timeout = cfg.rpc_timeout;
+  hsim::Tick deadline = p.now() + timeout;
+  while (!pending_.done) {
     co_await IrqPoint(p);
     co_await p.Compute(cfg.rpc_poll);
+    if (!pending_.done && p.now() >= deadline) {
+      ++system_->counters().rpc_retransmits;
+      if (tr != nullptr) {
+        hmetrics::TraceSession::SpanId rspan =
+            tr->BeginSpan(hmetrics::kTraceRpc, "rpc/retransmit", p.id(), p.now());
+        tr->AddArg(rspan, "op", RpcOpName(request->op));
+        tr->AddArg(rspan, "seq", std::to_string(packet.seq));
+        tr->EndSpan(rspan, p.now() + cfg.rpc_send);
+      }
+      co_await p.Compute(cfg.rpc_send);
+      SendPacket(p, target, packet);
+      // Exponential backoff with jitter: synchronized losers must not
+      // retransmit in lockstep into the same congested target.
+      timeout = std::min<hsim::Tick>(timeout * 2, cfg.rpc_timeout_cap);
+      deadline = p.now() + timeout / 2 + p.rng().NextBelow(timeout / 2 + 1);
+    }
   }
+  call_active_ = false;
   co_await p.Compute(cfg.rpc_recv);
   assert(request->status != RpcStatus::kPending);
   if (tr != nullptr) {

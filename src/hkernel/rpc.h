@@ -19,6 +19,26 @@
 // requests: the processor itself is a lockable resource (Section 2.3), and
 // refusing to service requests while blocked is exactly the deadlock the
 // paper describes between processors P1 and P2.
+//
+// --- transport fault tolerance ---
+//
+// The transport may be adversarial (hsim::FaultPlan): requests and replies
+// can be dropped, duplicated, or delayed.  The protocol provides exact-once
+// application semantics on top of it:
+//
+//   - every Call carries a per-initiator sequence number; the wire carries
+//     self-contained RpcPacket copies, never pointers into the caller's frame;
+//   - the initiator runs a stop-and-wait timeout-and-retransmit loop (one
+//     outstanding RPC per processor -- enforced with a loud abort);
+//   - the target remembers, per source processor, the last completed sequence
+//     number and its cached reply: a retransmit or duplicate of a completed
+//     request is not re-applied, the cached reply is retransmitted instead;
+//   - stale replies (for an already-completed or superseded sequence number)
+//     are counted and discarded at the initiator.
+//
+// Stop-and-wait per initiator is what makes the one-deep dedup window sound:
+// the target can never receive sequence number n+1 from a source before that
+// source has observed the reply to n.
 
 #ifndef HKERNEL_RPC_H_
 #define HKERNEL_RPC_H_
@@ -26,6 +46,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "src/hkernel/config.h"
 #include "src/hsim/machine.h"
@@ -71,6 +92,9 @@ enum class RpcStatus : std::uint8_t {
   kNotFound,       // the descriptor is gone; caller must re-establish state
 };
 
+// The handler-facing view of one RPC invocation.  Lives in the initiator's
+// frame on the caller side and on the handler's stack on the target side; it
+// never crosses the transport (RpcPacket does).
 struct RpcRequest {
   RpcOp op = RpcOp::kNull;
   std::uint64_t page = 0;
@@ -80,13 +104,29 @@ struct RpcRequest {
 
   RpcStatus status = RpcStatus::kPending;
   std::array<std::uint64_t, KernelConfig::kPayloadWords> payload{};
-  hsim::Tick reply_visible_at = 0;  // reply transit modelling
+};
+
+// The wire format: a self-contained copy of a request or reply.  The
+// transport owns packets in transit; duplication is a plain copy, and a
+// packet arriving after its call completed is simply discarded, so no
+// lifetime ties the wire to the initiator's frame.
+struct RpcPacket {
+  bool is_reply = false;
+  std::uint64_t seq = 0;  // per-initiator, monotonically increasing from 1
+  RpcOp op = RpcOp::kNull;
+  std::uint64_t page = 0;
+  std::uint64_t arg = 0;
+  hsim::ProcId src_proc = 0;      // the initiator (replies travel back to it)
+  std::uint32_t src_cluster = 0;
+  RpcStatus status = RpcStatus::kPending;
+  std::array<std::uint64_t, KernelConfig::kPayloadWords> payload{};
 };
 
 class KernelSystem;
 
-// Per-processor kernel state: the RPC inbox, the soft interrupt gate, and the
-// deferred-work queue.
+// Per-processor kernel state: the RPC inbox, the soft interrupt gate, the
+// deferred-work queue, and the transport-recovery state (sequence numbers,
+// per-source dedup, the pending-call slot).
 class CpuKernel {
  public:
   CpuKernel(KernelSystem* system, hsim::ProcId id) : system_(system), id_(id) {}
@@ -102,8 +142,11 @@ class CpuKernel {
 
   // Clears one level of masking.  The caller must follow with IrqPoint() (or
   // use KernelSystem's lock wrappers, which do) so deferred work is drained
-  // promptly.
-  void Unmask() { --mask_depth_; }
+  // promptly.  An unbalanced Unmask would leave the gate permanently ajar --
+  // a later Mask() inside a critical section would "close" it to depth 0 and
+  // let a handler interrupt a lock holder -- so it aborts loudly instead
+  // (same convention as hlock's thread-id exhaustion).
+  void Unmask();
 
   // A real processor has one program counter: at most one context can be in
   // the coarse-lock acquire/hold/release path at a time (per-processor MCS
@@ -114,7 +157,11 @@ class CpuKernel {
   void set_lock_path_busy(bool busy) { lock_path_busy_ = busy; }
 
   // Delivery (called by the RPC transport at the interrupt instant).
-  void Deliver(RpcRequest* request) { inbox_.push_back(request); }
+  void Deliver(const RpcPacket& packet) { inbox_.push_back(packet); }
+
+  // Reply delivery at the initiator: matches the pending call's sequence
+  // number; stale or duplicate replies are counted and discarded.
+  void DeliverReply(const RpcPacket& packet);
 
   // Services pending requests if the gate is open.  If the gate is closed,
   // requests are shunted (with the handler-entry cost) onto the deferred
@@ -122,27 +169,61 @@ class CpuKernel {
   hsim::Task<void> IrqPoint(hsim::Processor& p);
 
   // Sends `request` to `target` and waits for the reply, servicing our own
-  // incoming requests while waiting.  Must be called with the gate open and
-  // no coarse locks held.
+  // incoming requests while waiting and retransmitting on timeout.  Must be
+  // called with the gate open and no coarse locks held.  Stop-and-wait: a
+  // processor has at most one outstanding call (enforced).
   hsim::Task<void> Call(hsim::Processor& p, hsim::ProcId target, RpcRequest* request);
 
   // --- statistics -------------------------------------------------------------
   std::uint64_t handled() const { return handled_; }
   std::uint64_t deferred_count() const { return deferred_total_; }
   bool in_handler() const { return in_handler_; }
+  // Undrained inbox + deferred depth; at engine idle these are necessarily
+  // tail duplicates/retransmits of already-completed calls (an initiator
+  // never abandons an incomplete call).
+  std::size_t backlog() const { return inbox_.size() + deferred_.size(); }
 
  private:
-  hsim::Task<void> RunHandlers(hsim::Processor& p, std::deque<RpcRequest*>* queue, int budget);
+  // Per-source dedup window.  Sound because initiators are stop-and-wait.
+  struct PeerState {
+    std::uint64_t last_completed = 0;  // highest seq applied for this source
+    std::uint64_t in_progress = 0;     // seq currently inside a handler (0 = none)
+    bool has_reply = false;
+    RpcPacket cached_reply;            // reply to last_completed, for retransmits
+  };
+
+  struct PendingCall {
+    std::uint64_t seq = 0;
+    RpcRequest* request = nullptr;
+    bool done = false;
+  };
+
+  hsim::Task<void> RunHandlers(hsim::Processor& p, std::deque<RpcPacket>* queue, int budget);
+
+  // Hands a packet to the transport: consults the machine's fault plan and
+  // spawns the (possibly dropped/duplicated/delayed) delivery task(s).
+  void SendPacket(hsim::Processor& p, hsim::ProcId target, const RpcPacket& packet);
+
+  PeerState& peer(hsim::ProcId src) {
+    if (peers_.size() <= src) {
+      peers_.resize(src + 1);
+    }
+    return peers_[src];
+  }
 
   KernelSystem* system_;
   hsim::ProcId id_;
   int mask_depth_ = 0;
   bool in_handler_ = false;
   bool lock_path_busy_ = false;
-  std::deque<RpcRequest*> inbox_;
-  std::deque<RpcRequest*> deferred_;
+  std::deque<RpcPacket> inbox_;
+  std::deque<RpcPacket> deferred_;
   std::uint64_t handled_ = 0;
   std::uint64_t deferred_total_ = 0;
+  std::uint64_t next_seq_ = 0;
+  PendingCall pending_;
+  bool call_active_ = false;
+  std::vector<PeerState> peers_;
 };
 
 }  // namespace hkernel

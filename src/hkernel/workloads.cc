@@ -103,6 +103,9 @@ struct TestRig {
   explicit TestRig(const FaultTestParams& params) {
     machine = std::make_unique<hsim::Machine>(&engine, hsim::MachineConfig{});
     machine->set_trace(params.trace);
+    if (params.faults.any()) {
+      machine->set_fault_plan(params.faults);
+    }
     KernelConfig config;
     config.cluster_size = params.cluster_size;
     config.lock_kind = params.lock_kind;
@@ -125,6 +128,12 @@ struct TestRig {
     result.bus_wait = machine->total_bus_wait();
     result.mem_wait = machine->total_memory_wait();
     result.ring_wait = machine->total_ring_wait();
+    if (machine->fault_plan() != nullptr) {
+      result.transport = machine->fault_plan()->counters();
+    }
+    for (hsim::ProcId p = 0; p < machine->num_processors(); ++p) {
+      result.backlog += system->cpu(p).backlog();
+    }
     result.duration = engine.now();
     for (std::uint32_t m = 0; m < machine->num_processors(); ++m) {
       result.module_utilization.push_back(

@@ -17,6 +17,7 @@
 #include "src/hkernel/kernel.h"
 #include "src/hmetrics/registry.h"
 #include "src/hmetrics/trace.h"
+#include "src/hsim/fault.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/stats.h"
 #include "src/hsim/types.h"
@@ -61,6 +62,12 @@ struct FaultTestResult {
   hsim::Tick bus_wait = 0;   // aggregate queueing at station buses
   hsim::Tick mem_wait = 0;   // aggregate queueing at memory modules
   hsim::Tick ring_wait = 0;  // aggregate queueing at the ring
+  // What the fault plan actually injected (all zero on a perfect transport),
+  // plus any tail packets still undelivered at engine idle -- necessarily
+  // duplicates/retransmits of completed calls, since no driver exits with a
+  // call outstanding.
+  hsim::FaultPlan::Counters transport;
+  std::uint64_t backlog = 0;
   hsim::Tick duration = 0;   // measured-phase simulated time
   std::vector<double> module_utilization;  // per-module busy fraction
   std::vector<hsim::Tick> module_wait;     // per-module aggregate queueing
@@ -89,6 +96,9 @@ struct FaultTestParams {
   // batch-depth histogram.
   hmetrics::TraceSession* trace = nullptr;
   hmetrics::Registry* metrics = nullptr;
+  // Adversarial transport: installed on the rig's machine when any() is true.
+  // Deterministic under faults.seed -- same seed, same params, same result.
+  hsim::FaultConfig faults;
 };
 
 // Runs the independent-fault stress test on a fresh 16-processor machine.

@@ -9,6 +9,7 @@
 #ifndef HLOCK_BACKOFF_H_
 #define HLOCK_BACKOFF_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 
@@ -30,9 +31,11 @@ inline void CpuRelax() {
 
 class Backoff {
  public:
-  // `min_spins`/`max_spins` bound the exponential pause count per round.
+  // `min_spins`/`max_spins` bound the exponential pause count per round.  The
+  // cap need not be a power-of-two multiple of the floor; the growth clamps
+  // to it exactly (min=4, max=1000 spins 1000 at the cap, never 1024).
   explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
-      : current_(min_spins), max_(max_spins) {}
+      : min_(std::min(min_spins, max_spins)), current_(min_), max_(max_spins) {}
 
   // One backoff round: pause `current_` times (doubling up to the max), then
   // yield if we have been spinning for a long time already.
@@ -41,7 +44,7 @@ class Backoff {
       CpuRelax();
     }
     if (current_ < max_) {
-      current_ *= 2;
+      current_ = std::min(current_ * 2, max_);
     } else {
       // At the cap: let the holder run (essential on few-core hosts).
       std::this_thread::yield();
@@ -49,9 +52,16 @@ class Backoff {
     ++rounds_;
   }
 
+  // Restores the floor for the next acquisition.  A Backoff held across
+  // acquisitions would otherwise start every contention episode at the cap
+  // and punish the common short-hold case with maximal latency.
+  void Reset() { current_ = min_; }
+
   std::uint64_t rounds() const { return rounds_; }
+  std::uint32_t spins() const { return current_; }
 
  private:
+  std::uint32_t min_;
   std::uint32_t current_;
   std::uint32_t max_;
   std::uint64_t rounds_ = 0;

@@ -35,12 +35,25 @@
 
 #include "src/hlock/backoff.h"
 #include "src/hlock/mcs_locks.h"
+#include "src/hlock/platform.h"
 
 namespace hlock {
 
-template <typename K, typename V, typename CoarseLock = McsH2Lock, typename Hash = std::hash<K>>
+// `Platform` supplies the atomics, backoff, and invariant checks (see
+// platform.h); model-checked instantiations pass hcheck::Platform together
+// with an hcheck-flavoured CoarseLock.
+template <typename K, typename V, typename CoarseLock = McsH2Lock, typename Hash = std::hash<K>,
+          typename Platform = StdPlatform>
 class HybridTable {
  public:
+  // Reserve-word encoding: 0 = free, kExclusive = exclusively reserved, any
+  // other value = that many readers.  The reader count must therefore never
+  // reach kExclusive: the kExclusive - 1'th reader increment would make a
+  // fully-read-shared entry indistinguishable from an exclusive reservation
+  // (writers would spin on readers forever; a reader's decrement would then
+  // "free" an entry that still has kExclusive - 1 holders).  Both increment
+  // sites Check() the bound -- unreachable in practice (2^64 - 2 concurrent
+  // readers), but cheap, and it keeps the encoding honest under hcheck.
   static constexpr std::uint64_t kExclusive = std::numeric_limits<std::uint64_t>::max();
 
   explicit HybridTable(std::size_t num_buckets = 128) : buckets_(num_buckets, nullptr) {}
@@ -108,8 +121,12 @@ class HybridTable {
       if (entry_ != nullptr) {
         // Reader counts are shared state: update under the coarse lock.
         std::lock_guard<CoarseLock> guard(table_->lock_);
-        entry_->reserve.store(entry_->reserve.load(std::memory_order_relaxed) - 1,
-                              std::memory_order_relaxed);
+        const std::uint64_t state = entry_->reserve.load(std::memory_order_relaxed);
+        // A decrement from 0 would wrap to kExclusive -- a phantom exclusive
+        // reservation nobody can ever release.
+        Platform::Check(state != 0 && state != kExclusive,
+                        "HybridTable reader release without a reader hold");
+        entry_->reserve.store(state - 1, std::memory_order_relaxed);
         entry_ = nullptr;
         table_ = nullptr;
       }
@@ -126,7 +143,7 @@ class HybridTable {
   // Exclusively reserves the entry for `key`, creating it (default V) if
   // absent.  Spins (coarse lock dropped) while the entry is reserved.
   ExclusiveGuard Acquire(const K& key) {
-    Backoff backoff;
+    typename Platform::Backoff backoff;
     while (true) {
       Entry* wait_target = nullptr;
       {
@@ -170,7 +187,7 @@ class HybridTable {
 
   // Shared (reader) reserve; spins while exclusively reserved.
   SharedGuard AcquireShared(const K& key) {
-    Backoff backoff;
+    typename Platform::Backoff backoff;
     while (true) {
       Entry* wait_target = nullptr;
       {
@@ -181,6 +198,8 @@ class HybridTable {
         }
         const std::uint64_t state = entry->reserve.load(std::memory_order_acquire);
         if (state != kExclusive) {
+          Platform::Check(state + 1 != kExclusive,
+                          "HybridTable reader count saturated into kExclusive");
           entry->reserve.store(state + 1, std::memory_order_relaxed);
           return SharedGuard(this, entry);
         }
@@ -203,6 +222,8 @@ class HybridTable {
     if (state == kExclusive) {
       return SharedGuard();
     }
+    Platform::Check(state + 1 != kExclusive,
+                    "HybridTable reader count saturated into kExclusive");
     entry->reserve.store(state + 1, std::memory_order_relaxed);
     return SharedGuard(this, entry);
   }
@@ -259,7 +280,7 @@ class HybridTable {
   struct Entry {
     K key{};
     V value{};
-    std::atomic<std::uint64_t> reserve{0};
+    typename Platform::template Atomic<std::uint64_t> reserve{0};
     Entry* next = nullptr;
   };
 

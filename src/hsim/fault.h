@@ -1,0 +1,200 @@
+// Deterministic fault injection for the simulated RPC transport.
+//
+// The HECTOR interconnect itself never loses a transaction, but the paper's
+// cross-cluster protocols are written as if it could: the optimistic protocol
+// (Section 2.3) leans entirely on "the remote side fails and the initiator
+// retries".  A FaultPlan gives the simulator an adversarial transport so those
+// recovery paths can be exercised and measured: each RPC request or reply leg
+// may be dropped, duplicated, or delayed according to configured
+// probabilities, drawn from the plan's own seeded PRNG.
+//
+// Determinism: the engine is single threaded and resumes events in a total
+// (tick, sequence) order, so Decide() is called in the same order on every run
+// with the same seed -- a faulted run replays bit-identically.
+//
+// Exactly one fault is injected per send: a message is dropped XOR duplicated
+// XOR delayed.  A duplicate's extra copy is delivered verbatim (it is not
+// itself re-faulted), so the plan's counters reconcile exactly against the
+// dedup counters of the protocol under test.
+//
+// The force_* knobs inject the fault on the first N sends of a leg
+// unconditionally -- unit tests use them to script one precise loss instead of
+// fishing for it with probabilities.
+
+#ifndef HSIM_FAULT_H_
+#define HSIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/hsim/random.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+// Which transit leg of an RPC a message is on.
+enum class FaultLeg : std::uint8_t { kRequest, kReply };
+
+struct FaultConfig {
+  // Per-send probabilities, evaluated in this order (mutually exclusive).
+  double drop_request = 0.0;
+  double drop_reply = 0.0;
+  double dup_request = 0.0;
+  double dup_reply = 0.0;
+  double delay_request = 0.0;
+  double delay_reply = 0.0;
+  // A delayed message (and the second copy of a duplicate) is held back by a
+  // uniform 1..max_extra_delay extra ticks.
+  Tick max_extra_delay = 512;
+  std::uint64_t seed = 0x5eedULL;
+
+  // Scripted faults: the first N sends of the leg fault deterministically,
+  // before any probability is consulted.
+  std::uint32_t force_drop_requests = 0;
+  std::uint32_t force_drop_replies = 0;
+  std::uint32_t force_dup_requests = 0;
+  std::uint32_t force_dup_replies = 0;
+
+  bool any() const {
+    return drop_request > 0 || drop_reply > 0 || dup_request > 0 || dup_reply > 0 ||
+           delay_request > 0 || delay_reply > 0 || force_drop_requests > 0 ||
+           force_drop_replies > 0 || force_dup_requests > 0 || force_dup_replies > 0;
+  }
+};
+
+class FaultPlan {
+ public:
+  // What the transport must do with one send.  At most one of drop/duplicate
+  // is set; extra_delay applies to the primary copy, dup_extra_delay to the
+  // duplicate's second copy.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    Tick extra_delay = 0;
+    Tick dup_extra_delay = 0;
+  };
+
+  struct Counters {
+    std::uint64_t requests_seen = 0;
+    std::uint64_t replies_seen = 0;
+    std::uint64_t requests_dropped = 0;
+    std::uint64_t replies_dropped = 0;
+    std::uint64_t requests_duplicated = 0;
+    std::uint64_t replies_duplicated = 0;
+    std::uint64_t requests_delayed = 0;
+    std::uint64_t replies_delayed = 0;
+
+    std::uint64_t dropped() const { return requests_dropped + replies_dropped; }
+    std::uint64_t duplicated() const { return requests_duplicated + replies_duplicated; }
+  };
+
+  explicit FaultPlan(const FaultConfig& config) : config_(config), rng_(config.seed) {}
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+  const Counters& counters() const { return counters_; }
+
+  // Overrides the base config for one directed link (src processor -> dst
+  // processor) or for one operation kind (the transport passes its own opaque
+  // op tag).  Link overrides win over op overrides win over the base config.
+  void SetLinkConfig(ProcId src, ProcId dst, const FaultConfig& config) {
+    link_configs_[{src, dst}] = config;
+  }
+  void SetOpConfig(std::uint8_t op, const FaultConfig& config) { op_configs_[op] = config; }
+
+  Decision Decide(FaultLeg leg, ProcId src, ProcId dst, std::uint8_t op) {
+    const FaultConfig& cfg = Select(src, dst, op);
+    const bool request = leg == FaultLeg::kRequest;
+    Decision decision;
+    (request ? counters_.requests_seen : counters_.replies_seen)++;
+
+    std::uint32_t& force_drop = request ? forced_.drop_requests : forced_.drop_replies;
+    std::uint32_t& force_dup = request ? forced_.dup_requests : forced_.dup_replies;
+    const std::uint32_t force_drop_limit =
+        request ? cfg.force_drop_requests : cfg.force_drop_replies;
+    const std::uint32_t force_dup_limit =
+        request ? cfg.force_dup_requests : cfg.force_dup_replies;
+    if (force_drop < force_drop_limit) {
+      ++force_drop;
+      return Drop(request, &decision);
+    }
+    if (force_dup < force_dup_limit) {
+      ++force_dup;
+      return Duplicate(request, cfg, &decision);
+    }
+
+    const double p_drop = request ? cfg.drop_request : cfg.drop_reply;
+    const double p_dup = request ? cfg.dup_request : cfg.dup_reply;
+    const double p_delay = request ? cfg.delay_request : cfg.delay_reply;
+    if (p_drop + p_dup + p_delay <= 0.0) {
+      return decision;
+    }
+    const double u = NextUnit();
+    if (u < p_drop) {
+      return Drop(request, &decision);
+    }
+    if (u < p_drop + p_dup) {
+      return Duplicate(request, cfg, &decision);
+    }
+    if (u < p_drop + p_dup + p_delay) {
+      (request ? counters_.requests_delayed : counters_.replies_delayed)++;
+      decision.extra_delay = ExtraDelay(cfg);
+    }
+    return decision;
+  }
+
+ private:
+  struct ForcedState {
+    std::uint32_t drop_requests = 0;
+    std::uint32_t drop_replies = 0;
+    std::uint32_t dup_requests = 0;
+    std::uint32_t dup_replies = 0;
+  };
+
+  const FaultConfig& Select(ProcId src, ProcId dst, std::uint8_t op) const {
+    auto link = link_configs_.find({src, dst});
+    if (link != link_configs_.end()) {
+      return link->second;
+    }
+    auto per_op = op_configs_.find(op);
+    if (per_op != op_configs_.end()) {
+      return per_op->second;
+    }
+    return config_;
+  }
+
+  Decision Drop(bool request, Decision* decision) {
+    (request ? counters_.requests_dropped : counters_.replies_dropped)++;
+    decision->drop = true;
+    return *decision;
+  }
+
+  Decision Duplicate(bool request, const FaultConfig& cfg, Decision* decision) {
+    (request ? counters_.requests_duplicated : counters_.replies_duplicated)++;
+    decision->duplicate = true;
+    decision->dup_extra_delay = ExtraDelay(cfg);
+    return *decision;
+  }
+
+  Tick ExtraDelay(const FaultConfig& cfg) {
+    if (cfg.max_extra_delay == 0) {
+      return 0;
+    }
+    return 1 + rng_.NextBelow(cfg.max_extra_delay);
+  }
+
+  double NextUnit() { return static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53; }
+
+  FaultConfig config_;
+  Rng rng_;
+  Counters counters_;
+  ForcedState forced_;
+  std::map<std::pair<ProcId, ProcId>, FaultConfig> link_configs_;
+  std::map<std::uint8_t, FaultConfig> op_configs_;
+};
+
+}  // namespace hsim
+
+#endif  // HSIM_FAULT_H_

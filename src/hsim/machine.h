@@ -27,6 +27,7 @@
 
 #include "src/hmetrics/trace.h"
 #include "src/hsim/engine.h"
+#include "src/hsim/fault.h"
 #include "src/hsim/opstats.h"
 #include "src/hsim/random.h"
 #include "src/hsim/resource.h"
@@ -179,6 +180,17 @@ class Machine {
     return trace_ != nullptr && trace_->enabled(cat);
   }
 
+  // --- fault injection --------------------------------------------------------
+  // Installs an adversarial transport plan.  The RPC layer consults it on
+  // every request/reply send; without a plan the transport is perfect.  The
+  // plan's PRNG is independent of the processors' backoff PRNGs, so enabling
+  // faults perturbs only the transport.
+  void set_fault_plan(const FaultConfig& config) {
+    fault_plan_ = std::make_unique<FaultPlan>(config);
+  }
+  void clear_fault_plan() { fault_plan_.reset(); }
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+
   std::uint32_t num_processors() const { return config_.num_processors(); }
   Processor& processor(ProcId id) { return *processors_[id]; }
 
@@ -202,6 +214,7 @@ class Machine {
   Engine* engine_;
   MachineConfig config_;
   hmetrics::TraceSession* trace_ = nullptr;
+  std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<std::unique_ptr<Resource>> memories_;
   std::vector<std::unique_ptr<Resource>> buses_;
   std::unique_ptr<Resource> ring_;

@@ -68,21 +68,28 @@ TEST(RpcTest, NullRpcRoundTripNearPaperValue) {
   EXPECT_LT(us, 34.0);
 }
 
+// Builds a wire packet as the transport would: a self-contained request copy
+// from a foreign initiator.
+RpcPacket MakePacket(std::uint64_t seq, hsim::ProcId src = 0) {
+  RpcPacket packet;
+  packet.seq = seq;
+  packet.op = RpcOp::kNull;
+  packet.src_proc = src;
+  return packet;
+}
+
 TEST(RpcTest, MaskDefersWorkUntilUnmask) {
   Rig rig(4);
   CpuKernel& target = rig.system.cpu(4);
   hsim::Processor& tp = rig.machine.processor(4);
 
-  RpcRequest request;
-  request.op = RpcOp::kNull;
   target.Mask();
-  target.Deliver(&request);
+  target.Deliver(MakePacket(1));
   // An interrupt point with the gate closed defers the work.
   rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
     co_await k->IrqPoint(*p);
   }(&target, &tp));
   rig.engine.RunUntilIdle();
-  EXPECT_EQ(request.status, RpcStatus::kPending);
   EXPECT_EQ(target.deferred_count(), 1u);
   EXPECT_EQ(target.handled(), 0u);
 
@@ -92,18 +99,16 @@ TEST(RpcTest, MaskDefersWorkUntilUnmask) {
     co_await k->IrqPoint(*p);
   }(&target, &tp));
   rig.engine.RunUntilIdle();
-  EXPECT_EQ(request.status, RpcStatus::kOk);
   EXPECT_EQ(target.handled(), 1u);
+  EXPECT_EQ(target.backlog(), 0u);
 }
 
 TEST(RpcTest, IrqBatchBoundsWorkPerPoint) {
   Rig rig(4);
   CpuKernel& target = rig.system.cpu(4);
   hsim::Processor& tp = rig.machine.processor(4);
-  RpcRequest requests[5];
-  for (auto& r : requests) {
-    r.op = RpcOp::kNull;
-    target.Deliver(&r);
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    target.Deliver(MakePacket(seq));
   }
   rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
     co_await k->IrqPoint(*p);
@@ -112,6 +117,28 @@ TEST(RpcTest, IrqBatchBoundsWorkPerPoint) {
   // Only irq_batch (2) requests are serviced per interrupt point: the
   // interrupted kernel path must be able to make progress under a storm.
   EXPECT_EQ(target.handled(), 2u);
+}
+
+TEST(RpcTest, DuplicateDeliveriesAreAppliedOnce) {
+  Rig rig(4);
+  CpuKernel& target = rig.system.cpu(4);
+  hsim::Processor& tp = rig.machine.processor(4);
+  // Two copies of seq 1 (a transport duplicate) and a stale re-delivery after
+  // seq 2 completed.
+  target.Deliver(MakePacket(1));
+  target.Deliver(MakePacket(1));
+  target.Deliver(MakePacket(2));
+  target.Deliver(MakePacket(1));
+  rig.engine.Spawn([](CpuKernel* k, hsim::Processor* p) -> hsim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await k->IrqPoint(*p);
+    }
+  }(&target, &tp));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(target.handled(), 2u);
+  EXPECT_EQ(rig.system.counters().rpc_ops_applied, 2u);
+  EXPECT_EQ(rig.system.counters().rpc_dup_requests, 2u);
+  EXPECT_EQ(target.backlog(), 0u);
 }
 
 TEST(RpcTest, CrossCallingProcessorsDoNotDeadlock) {

@@ -1,0 +1,58 @@
+// Tests for the exponential backoff helper, in particular the cap behaviour:
+// the per-round spin count must clamp to max_spins exactly, not overshoot to
+// the next power of two (min=4, max=1000 used to spin 1024 at the cap).
+
+#include "src/hlock/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(BackoffTest, DoublesFromFloorToCap) {
+  hlock::Backoff backoff(/*min_spins=*/4, /*max_spins=*/64);
+  EXPECT_EQ(backoff.spins(), 4u);
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 8u);
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 16u);
+  backoff.Pause();
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 64u);
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 64u);  // stays at the cap
+  EXPECT_EQ(backoff.rounds(), 5u);
+}
+
+TEST(BackoffTest, ClampsToNonPowerOfTwoCap) {
+  hlock::Backoff backoff(/*min_spins=*/4, /*max_spins=*/1000);
+  for (int i = 0; i < 16; ++i) {
+    backoff.Pause();
+    EXPECT_LE(backoff.spins(), 1000u) << "overshot the cap on round " << i;
+  }
+  EXPECT_EQ(backoff.spins(), 1000u);
+}
+
+TEST(BackoffTest, ResetRestoresFloor) {
+  hlock::Backoff backoff(/*min_spins=*/8, /*max_spins=*/100);
+  for (int i = 0; i < 8; ++i) {
+    backoff.Pause();
+  }
+  EXPECT_EQ(backoff.spins(), 100u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.spins(), 8u);
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 16u);
+  // rounds() is cumulative across Reset (it counts lifetime pauses).
+  EXPECT_EQ(backoff.rounds(), 9u);
+}
+
+TEST(BackoffTest, FloorAboveCapIsClampedDown) {
+  hlock::Backoff backoff(/*min_spins=*/512, /*max_spins=*/100);
+  EXPECT_EQ(backoff.spins(), 100u);
+  backoff.Pause();
+  EXPECT_EQ(backoff.spins(), 100u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.spins(), 100u);
+}
+
+}  // namespace
