@@ -16,8 +16,11 @@
 //     >13% of acquisitions take over 2ms at p=16, hold=25us.
 
 #include <cstdio>
+#include <string>
 
 #include "src/hmetrics/bench_main.h"
+#include "src/hprof/lock_site.h"
+#include "src/hprof/report.h"
 #include "src/hsim/locks/stress.h"
 
 namespace {
@@ -107,6 +110,39 @@ int main(int argc, char** argv) {
                  {"worst_us", hsim::TicksToUs(r.acquire_latency.max())},
                  {"mean_us", r.acquire_latency.mean_us()},
                  {"w_us", r.little_response_us()}});
+
+  if (opts.profile) {
+    // Figure 5 contention analysis as an hprof report: all 16 processors
+    // alternate between one machine-wide "kernel/shared" lock and their own
+    // station's "cluster<s>/local" lock.  The shared lock must rank first by
+    // total wait time and show cross-cluster handoffs; the station locks stay
+    // cheap and cluster-local.
+    hprof::SiteTable sites(static_cast<double>(hsim::kCyclesPerMicrosecond));
+    hsim::ProfiledContentionParams pp;
+    if (opts.smoke) {
+      pp.duration = hsim::UsToTicks(1000);
+    }
+    const hsim::ProfiledContentionResult pr =
+        hsim::RunProfiledContention(pp, &sites);
+    printf("\nprofiled contention run: %llu shared / %llu station-local "
+           "acquisitions\n",
+           static_cast<unsigned long long>(pr.shared_acquisitions),
+           static_cast<unsigned long long>(pr.local_acquisitions));
+    if (!opts.profile_path.empty()) {
+      if (!hmetrics::WriteJsonFile(opts.profile_path, sites.ToJson())) {
+        return 1;
+      }
+      printf("wrote lockprof export to %s\n", opts.profile_path.c_str());
+    }
+    hprof::ProfileReport prof;
+    std::string error;
+    if (!prof.AddSites(sites, &error)) {
+      fprintf(stderr, "hprof: %s\n", error.c_str());
+      return 1;
+    }
+    prof.Rank();
+    printf("\n%s", prof.RenderText().c_str());
+  }
 
   if (!opts.trace_path.empty()) {
     // A short traced run of the contended H2-MCS case: lock-acquire spans and

@@ -14,6 +14,12 @@
 #   --faults  additionally run the RPC fault campaign (fig7_fault_tests
 #             --faults: drop/dup sweep with exact-once and determinism
 #             checks) and merge its sweep into BENCH_RESULTS.json
+#   --profile additionally run the Figure 5 profiled contention scenario,
+#             write the lockprof export to build/bench/profile/, and render
+#             the hprof contention report from it with build/tools/hprof
+#   --check-regress  after merging BENCH_RESULTS.json, diff it against the
+#             committed BENCH_BASELINE.json with tools/check_regress.py and
+#             fail if any baseline series is missing or out of tolerance
 set -e
 cd "$(dirname "$0")"
 
@@ -21,13 +27,17 @@ SMOKE="--smoke"
 TSAN=0
 HCHECK=0
 FAULTS=0
+PROFILE=0
+CHECK_REGRESS=0
 for arg in "$@"; do
   case "$arg" in
     --full) SMOKE="" ;;
     --tsan) TSAN=1 ;;
     --hcheck) HCHECK=1 ;;
     --faults) FAULTS=1 ;;
-    *) echo "usage: $0 [--full] [--tsan] [--hcheck] [--faults]" >&2; exit 2 ;;
+    --profile) PROFILE=1 ;;
+    --check-regress) CHECK_REGRESS=1 ;;
+    *) echo "usage: $0 [--full] [--tsan] [--hcheck] [--faults] [--profile] [--check-regress]" >&2; exit 2 ;;
   esac
 done
 
@@ -79,6 +89,26 @@ with open("BENCH_RESULTS.json", "w") as f:
 print(f"BENCH_RESULTS.json: {len(reports)} reports, "
       f"{sum(len(r['series']) for r in reports)} series")
 EOF
+
+if [ "$CHECK_REGRESS" = 1 ]; then
+  echo "==== check_regress: BENCH_RESULTS.json vs BENCH_BASELINE.json"
+  python3 tools/check_regress.py
+fi
+
+if [ "$PROFILE" = 1 ]; then
+  echo "==== fig5_lock_contention --profile (hprof pipeline)"
+  PROFILE_DIR=build/bench/profile
+  mkdir -p "$PROFILE_DIR"
+  # shellcheck disable=SC2086
+  ./build/bench/fig5_lock_contention $SMOKE \
+      --profile="$PROFILE_DIR/fig5_lockprof.json" \
+      --trace="$PROFILE_DIR/fig5_trace.json" > "$PROFILE_DIR/fig5_report.txt"
+  tail -n +1 "$PROFILE_DIR/fig5_report.txt"
+  echo "==== hprof CLI on the exported lockprof + trace documents"
+  ./build/tools/hprof "$PROFILE_DIR/fig5_lockprof.json"
+  ./build/tools/hprof --json "$PROFILE_DIR/fig5_trace.json" > "$PROFILE_DIR/fig5_trace_report.json"
+  echo "wrote $PROFILE_DIR/fig5_trace_report.json"
+fi
 
 if [ "$HCHECK" = 1 ]; then
   echo "==== hcheck exhaustive sweep (HCHECK_EXHAUSTIVE=1)"

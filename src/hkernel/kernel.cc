@@ -174,7 +174,26 @@ Program& KernelSystem::CreateProgram() {
   const std::uint32_t id = static_cast<std::uint32_t>(programs_.size());
   programs_.push_back(std::make_unique<Program>(machine_, config_, id, num_clusters(),
                                                 machine_->num_processors()));
-  return *programs_.back();
+  Program& prog = *programs_.back();
+  if (lock_profiler_ != nullptr) {
+    for (std::uint32_t c = 0; c < num_clusters(); ++c) {
+      prog.region_lock(c).set_site(&lock_profiler_->AddSite(
+          "program" + std::to_string(id) + "/cluster" + std::to_string(c) + "/region",
+          config_.cluster_size));
+    }
+  }
+  return prog;
+}
+
+void KernelSystem::AttachLockProfiler(hprof::SiteTable* sites) {
+  lock_profiler_ = sites;
+  if (sites == nullptr) {
+    return;
+  }
+  for (std::uint32_t c = 0; c < num_clusters(); ++c) {
+    clusters_[c]->lock().set_site(
+        &sites->AddSite("cluster" + std::to_string(c) + "/page-table", config_.cluster_size));
+  }
 }
 
 hsim::Task<void> KernelSystem::PageFault(hsim::Processor& p, Program& prog, std::uint64_t page,

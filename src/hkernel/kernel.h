@@ -211,6 +211,15 @@ class KernelSystem {
   hmetrics::Registry* metrics() { return metrics_; }
   hmetrics::LatencyHistogram* rpc_batch_depth_hist() { return rpc_batch_depth_; }
 
+  // --- lock profiling -----------------------------------------------------------
+  // Attaches an hprof site table: every cluster's page-table coarse lock gets
+  // a site ("cluster<i>/page-table"), and each program created *afterwards*
+  // gets one site per region-lock replica ("program<p>/cluster<i>/region").
+  // Cluster size is the site's procs_per_cluster, so the handoff matrix
+  // follows the configured clustering.  Call before CreateProgram; pass
+  // nullptr to stop profiling future programs (attached sites stay attached).
+  void AttachLockProfiler(hprof::SiteTable* sites);
+
   // Publishes the current counter values into the attached registry.  Call
   // once at the end of a run: counters are cumulative, so publishing deltas
   // mid-run would double-count.
@@ -253,6 +262,7 @@ class KernelSystem {
   Counters counters_;
   hmetrics::Registry* metrics_ = nullptr;
   hmetrics::LatencyHistogram* rpc_batch_depth_ = nullptr;
+  hprof::SiteTable* lock_profiler_ = nullptr;
 };
 
 // Creates a coarse-grained lock of the configured kind, homed on `module`.

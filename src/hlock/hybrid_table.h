@@ -36,6 +36,7 @@
 #include "src/hlock/backoff.h"
 #include "src/hlock/mcs_locks.h"
 #include "src/hlock/platform.h"
+#include "src/hprof/lock_site.h"
 
 namespace hlock {
 
@@ -61,16 +62,22 @@ class HybridTable {
   HybridTable& operator=(const HybridTable&) = delete;
 
   // Exclusive ownership of one entry.  Movable; releases on destruction.
+  // Each guard carries its own grant timestamp: many entries are reserved
+  // concurrently, so hold timing cannot live in the (shared) profiling site.
   class ExclusiveGuard {
    public:
     ExclusiveGuard() = default;
     ExclusiveGuard(ExclusiveGuard&& other) noexcept
         : table_(std::exchange(other.table_, nullptr)),
-          entry_(std::exchange(other.entry_, nullptr)) {}
+          entry_(std::exchange(other.entry_, nullptr)),
+          site_(std::exchange(other.site_, nullptr)),
+          hold_start_(other.hold_start_) {}
     ExclusiveGuard& operator=(ExclusiveGuard&& other) noexcept {
       Release();
       table_ = std::exchange(other.table_, nullptr);
       entry_ = std::exchange(other.entry_, nullptr);
+      site_ = std::exchange(other.site_, nullptr);
+      hold_start_ = other.hold_start_;
       return *this;
     }
     ~ExclusiveGuard() { Release(); }
@@ -83,6 +90,10 @@ class HybridTable {
     // Releases the reservation early.
     void Release() {
       if (entry_ != nullptr) {
+        if (site_ != nullptr) {
+          site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+          site_ = nullptr;
+        }
         // Exclusive clear needs no lock and no read-modify-write.
         entry_->reserve.store(0, std::memory_order_release);
         entry_ = nullptr;
@@ -96,6 +107,8 @@ class HybridTable {
         : table_(table), entry_(entry) {}
     HybridTable* table_ = nullptr;
     typename HybridTable::Entry* entry_ = nullptr;
+    hprof::LockSiteStats* site_ = nullptr;
+    std::uint64_t hold_start_ = 0;
   };
 
   // Shared (reader) hold of one entry.
@@ -143,6 +156,9 @@ class HybridTable {
   // Exclusively reserves the entry for `key`, creating it (default V) if
   // absent.  Spins (coarse lock dropped) while the entry is reserved.
   ExclusiveGuard Acquire(const K& key) {
+    const std::uint64_t t0 =
+        reserve_site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
+    bool contended = false;
     typename Platform::Backoff backoff;
     while (true) {
       Entry* wait_target = nullptr;
@@ -157,13 +173,17 @@ class HybridTable {
         // the release store in ExclusiveGuard::Release).
         if (entry->reserve.load(std::memory_order_acquire) == 0) {
           entry->reserve.store(kExclusive, std::memory_order_relaxed);
-          return ExclusiveGuard(this, entry);
+          return GrantExclusive(entry, t0, contended);
         }
         wait_target = entry;
       }
       // Reserved by someone else: spin outside the coarse lock, then retry
       // the search (the entry may have been erased and recycled meanwhile;
       // type-stable memory keeps the spin safe).
+      if (reserve_site_ != nullptr && !contended) {
+        reserve_site_->EnterQueue();
+      }
+      contended = true;
       while (wait_target->reserve.load(std::memory_order_acquire) != 0) {
         backoff.Pause();
       }
@@ -182,7 +202,7 @@ class HybridTable {
       return ExclusiveGuard();
     }
     entry->reserve.store(kExclusive, std::memory_order_relaxed);
-    return ExclusiveGuard(this, entry);
+    return GrantExclusive(entry, /*wait_start=*/0, /*contended=*/false);
   }
 
   // Shared (reader) reserve; spins while exclusively reserved.
@@ -276,6 +296,13 @@ class HybridTable {
 
   CoarseLock& coarse_lock() { return lock_; }
 
+  // Attaches one profiling site covering every *exclusive* reservation in the
+  // table (the fine-grained side of the hybrid scheme; wait/hold samples are
+  // host nanoseconds).  Shared (reader) holds are not recorded -- they are
+  // plain counter bumps with no meaningful wait or exclusivity.  The coarse
+  // lock can be profiled separately via coarse_lock().set_site(...).
+  void set_reserve_site(hprof::LockSiteStats* site) { reserve_site_ = site; }
+
  private:
   struct Entry {
     K key{};
@@ -283,6 +310,23 @@ class HybridTable {
     typename Platform::template Atomic<std::uint64_t> reserve{0};
     Entry* next = nullptr;
   };
+
+  // Builds a granted guard, recording the acquisition when profiled.
+  // `wait_start` == 0 means "no wait was timed" (TryAcquire's instant grab).
+  ExclusiveGuard GrantExclusive(Entry* entry, std::uint64_t wait_start, bool contended) {
+    ExclusiveGuard guard(this, entry);
+    if (reserve_site_ != nullptr) {
+      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+      if (contended) {
+        reserve_site_->LeaveQueue();
+      }
+      reserve_site_->RecordAcquire(Platform::ThreadId(),
+                                   wait_start != 0 ? now - wait_start : 0, contended);
+      guard.site_ = reserve_site_;
+      guard.hold_start_ = now;
+    }
+    return guard;
+  }
 
   Entry* FindLocked(const K& key) {
     const std::size_t bucket = Hash{}(key) % buckets_.size();
@@ -313,6 +357,7 @@ class HybridTable {
   }
 
   CoarseLock lock_;
+  hprof::LockSiteStats* reserve_site_ = nullptr;
   std::vector<Entry*> buckets_;
   std::deque<Entry> pool_;  // type-stable entry storage
   Entry* free_list_ = nullptr;

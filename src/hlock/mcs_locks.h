@@ -31,6 +31,7 @@
 
 #include "src/hlock/padded.h"
 #include "src/hlock/platform.h"
+#include "src/hprof/lock_site.h"
 
 namespace hlock {
 
@@ -68,12 +69,34 @@ class BasicMcsLock {
   }
 
   void lock(QNode& node) {
-    if (!Enqueue(node)) {
+    const std::uint64_t t0 =
+        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
+    const bool immediate = Enqueue(node);
+    if (!immediate) {
+      if (site_ != nullptr) {
+        site_->EnterQueue();
+      }
       WaitForGrant(node);
+      if (site_ != nullptr) {
+        site_->LeaveQueue();
+      }
+    }
+    if (site_ != nullptr) {
+      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(Platform::ThreadId(), now - t0, !immediate);
+      hold_start_ = now;
     }
   }
 
+  // Attaches a profiling site (null detaches); wait/hold samples are host
+  // nanoseconds.  Only lock()/unlock() record -- callers driving the split
+  // Enqueue/WaitForGrant protocol directly are not profiled.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
+
   void unlock(QNode& node) {
+    if (site_ != nullptr) {
+      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+    }
     QNode* succ = node.next.load(std::memory_order_acquire);
     if (succ == nullptr) {
       QNode* expected = &node;
@@ -91,6 +114,8 @@ class BasicMcsLock {
 
  private:
   typename Platform::template Atomic<QNode*> tail_{nullptr};
+  hprof::LockSiteStats* site_ = nullptr;
+  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
 };
 
 using McsLock = BasicMcsLock<>;
@@ -113,11 +138,19 @@ class HurricaneMcsLock {
 
   void lock() {
     QNode& node = *nodes_[Platform::ThreadId()];
+    const std::uint64_t t0 =
+        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
     // Modification 1: no initialization stores here; the rest-state invariant
     // (next == nullptr, locked == true) is maintained by the contended paths.
     QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
     if (pred == nullptr) {
+      if (site_ != nullptr) {
+        RecordGrant(t0, /*contended=*/false);
+      }
       return;
+    }
+    if (site_ != nullptr) {
+      site_->EnterQueue();
     }
     pred->next.store(&node, std::memory_order_release);
     typename Platform::Backoff backoff;
@@ -125,10 +158,17 @@ class HurricaneMcsLock {
       backoff.Pause();
     }
     node.locked.store(true, std::memory_order_relaxed);  // re-initialize
+    if (site_ != nullptr) {
+      site_->LeaveQueue();
+      RecordGrant(t0, /*contended=*/true);
+    }
   }
 
   void unlock() {
     QNode& node = *nodes_[Platform::ThreadId()];
+    if (site_ != nullptr) {
+      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+    }
     QNode* succ = nullptr;
     if constexpr (kCheckSuccessor) {
       succ = node.next.load(std::memory_order_acquire);
@@ -166,12 +206,20 @@ class HurricaneMcsLock {
     // needs CAS (available natively): grab only if free.
     QNode& node = *nodes_[Platform::ThreadId()];
     QNode* expected = nullptr;
-    return tail_.compare_exchange_strong(expected, &node, std::memory_order_acq_rel,
-                                         std::memory_order_acquire);
+    const bool taken = tail_.compare_exchange_strong(
+        expected, &node, std::memory_order_acq_rel, std::memory_order_acquire);
+    if (taken && site_ != nullptr) {
+      RecordGrant(hprof::LockSiteStats::NowTicks(), /*contended=*/false);
+    }
+    return taken;
   }
 
   // Number of contended releases that had to repair the queue.
   std::uint64_t repairs() const { return repairs_.load(std::memory_order_relaxed); }
+
+  // Attaches a profiling site (null detaches); wait/hold samples are host
+  // nanoseconds.  Not thread-safe against concurrent lock users.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
 
  private:
   struct QNode {
@@ -179,8 +227,16 @@ class HurricaneMcsLock {
     typename Platform::template Atomic<bool> locked{true};
   };
 
+  void RecordGrant(std::uint64_t wait_start, bool contended) {
+    const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+    site_->RecordAcquire(Platform::ThreadId(), now - wait_start, contended);
+    hold_start_ = now;
+  }
+
   typename Platform::template Atomic<QNode*> tail_{nullptr};
   typename Platform::template Atomic<std::uint64_t> repairs_{0};
+  hprof::LockSiteStats* site_ = nullptr;
+  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
   Padded<QNode> nodes_[Platform::kMaxThreads];
 };
 

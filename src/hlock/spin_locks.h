@@ -13,6 +13,8 @@
 
 #include "src/hlock/backoff.h"
 #include "src/hlock/padded.h"
+#include "src/hlock/thread_id.h"
+#include "src/hprof/lock_site.h"
 
 namespace hlock {
 
@@ -39,25 +41,56 @@ class TasSpinLock {
 class TtasSpinLock {
  public:
   void lock() {
+    const std::uint64_t t0 =
+        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
+    bool contended = false;
     while (true) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
-        return;
+        break;
       }
+      if (site_ != nullptr && !contended) {
+        site_->EnterQueue();
+      }
+      contended = true;
       while (locked_.load(std::memory_order_relaxed)) {
         CpuRelax();
       }
     }
+    if (site_ != nullptr) {
+      if (contended) {
+        site_->LeaveQueue();
+      }
+      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), now - t0, contended);
+      hold_start_ = now;
+    }
   }
 
   bool try_lock() {
-    return !locked_.load(std::memory_order_relaxed) &&
-           !locked_.exchange(true, std::memory_order_acquire);
+    const bool taken = !locked_.load(std::memory_order_relaxed) &&
+                       !locked_.exchange(true, std::memory_order_acquire);
+    if (taken && site_ != nullptr) {
+      hold_start_ = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), 0, /*contended=*/false);
+    }
+    return taken;
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() {
+    if (site_ != nullptr) {
+      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+    }
+    locked_.store(false, std::memory_order_release);
+  }
+
+  // Attaches a profiling site (null detaches); wait/hold samples are host
+  // nanoseconds.  Not thread-safe against concurrent lock users.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
 
  private:
   std::atomic<bool> locked_{false};
+  hprof::LockSiteStats* site_ = nullptr;
+  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
 };
 
 // Test-and-set with exponential backoff (Figure 3c).  The backoff cap is the
@@ -70,19 +103,52 @@ class BackoffSpinLock {
       : max_backoff_spins_(max_backoff_spins) {}
 
   void lock() {
+    const std::uint64_t t0 =
+        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
+    bool contended = false;
     Backoff backoff(4, max_backoff_spins_);
     while (locked_.exchange(true, std::memory_order_acquire)) {
+      if (site_ != nullptr && !contended) {
+        site_->EnterQueue();
+      }
+      contended = true;
       backoff.Pause();
+    }
+    if (site_ != nullptr) {
+      if (contended) {
+        site_->LeaveQueue();
+      }
+      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), now - t0, contended);
+      hold_start_ = now;
     }
   }
 
-  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+  bool try_lock() {
+    const bool taken = !locked_.exchange(true, std::memory_order_acquire);
+    if (taken && site_ != nullptr) {
+      hold_start_ = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), 0, /*contended=*/false);
+    }
+    return taken;
+  }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() {
+    if (site_ != nullptr) {
+      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+    }
+    locked_.store(false, std::memory_order_release);
+  }
+
+  // Attaches a profiling site (null detaches); wait/hold samples are host
+  // nanoseconds.  Not thread-safe against concurrent lock users.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
 
  private:
   std::atomic<bool> locked_{false};
   std::uint32_t max_backoff_spins_;
+  hprof::LockSiteStats* site_ = nullptr;
+  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
 };
 
 // Ticket lock: FIFO-fair like a Distributed Lock, but all waiters spin on the

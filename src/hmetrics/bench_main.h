@@ -9,6 +9,10 @@
 //                    produce a schema-valid report in seconds (CI mode).
 //   --trace=PATH     write a Chrome trace_event JSON of an instrumented run
 //                    (benches that support tracing document what is traced).
+//   --profile[=PATH] run with lock-site profiling attached and print an hprof
+//                    contention report; with =PATH also write the raw
+//                    hurricane-lockprof/1 document (hprof CLI input) there.
+//                    Benches that support profiling document the scenario.
 //
 // Unrecognized arguments are left in place (ParseBenchArgs compacts argv), so
 // wrappers like google-benchmark keep their own flags.
@@ -30,6 +34,8 @@ struct BenchOptions {
   std::string json_path;   // empty: stdout
   bool smoke = false;
   std::string trace_path;  // empty: tracing off
+  bool profile = false;
+  std::string profile_path;  // empty: report to stdout only
 };
 
 // Consumes the shared flags from argv (shifting the rest down and updating
@@ -48,6 +54,11 @@ inline BenchOptions ParseBenchArgs(int* argc, char** argv) {
       opts.smoke = true;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       opts.trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opts.profile = true;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      opts.profile = true;
+      opts.profile_path = arg + 10;
     } else {
       argv[out++] = argv[i];
     }
@@ -87,6 +98,18 @@ inline bool WriteTrace(const BenchOptions& opts, const TraceSession& trace) {
   std::FILE* f = std::fopen(opts.trace_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", doc.c_str());
+  std::fclose(f);
+  return true;
+}
+
+// Writes `doc` (any JSON document string, e.g. a lockprof export) to `path`.
+inline bool WriteJsonFile(const std::string& path, const std::string& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
   std::fprintf(f, "%s\n", doc.c_str());

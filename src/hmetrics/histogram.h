@@ -7,6 +7,14 @@
 // queries after a run costs one sort total.  Sum, min and max are maintained
 // streaming so they never touch the cache at all.
 //
+// Raw-sample retention is capped (set_sample_cap): once the cap is reached
+// further samples still update the streaming statistics (count, sum, min,
+// max, mean) but are not retained, and samples_dropped() counts them.  Order
+// statistics (percentile, fraction_above) are then computed over the retained
+// prefix -- exact below the cap, a prefix approximation above it.  The
+// default cap is high enough that every existing test and bench stays exact;
+// long profiled runs stay bounded at cap * 8 bytes.
+//
 // Samples are unsigned 64-bit (simulator ticks or nanoseconds); all derived
 // statistics are doubles.  Merge() combines per-processor (or per-thread)
 // shards into one distribution, which is how sharded harnesses aggregate.
@@ -25,41 +33,80 @@ class LatencyHistogram {
  public:
   using Sample = std::uint64_t;
 
+  // 1M samples == 8 MiB retained per series: bounded, yet far beyond what any
+  // test or paper-length bench records, so results below the cap are exact.
+  static constexpr std::size_t kDefaultSampleCap = 1u << 20;
+
   void Record(Sample v) {
-    samples_.push_back(v);
+    ++count_;
     sum_ += v;
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
+    if (samples_.size() >= sample_cap_) {
+      ++dropped_;
+      return;
+    }
+    samples_.push_back(v);
     // Invalidate the query cache (cheap flag, no deallocation).
     sorted_valid_ = false;
   }
 
-  // Folds `other`'s samples into this histogram (shard aggregation).
+  // Folds `other`'s samples into this histogram (shard aggregation).  This
+  // histogram's own cap governs how many of the merged samples are retained.
   void Merge(const LatencyHistogram& other) {
-    if (other.samples_.empty()) {
+    if (other.count_ == 0) {
       return;
     }
-    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    count_ += other.count_;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
-    sorted_valid_ = false;
+    dropped_ += other.dropped_;
+    const std::size_t room =
+        samples_.size() < sample_cap_ ? sample_cap_ - samples_.size() : 0;
+    const std::size_t take = std::min(room, other.samples_.size());
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.begin() + static_cast<std::ptrdiff_t>(take));
+    dropped_ += other.samples_.size() - take;
+    if (take > 0) {
+      sorted_valid_ = false;
+    }
   }
 
-  std::uint64_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  // Caps future raw-sample retention.  Already-retained samples are kept even
+  // if they exceed a newly-lowered cap (no information is destroyed).
+  void set_sample_cap(std::size_t cap) { sample_cap_ = cap; }
+  std::size_t sample_cap() const { return sample_cap_; }
+
+  // Samples recorded (or merged) beyond the retention cap.
+  std::uint64_t samples_dropped() const { return dropped_; }
+
+  // Forgets everything, keeping the configured cap.
+  void Reset() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+    count_ = 0;
+    sum_ = 0;
+    dropped_ = 0;
+    min_ = std::numeric_limits<Sample>::max();
+    max_ = 0;
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
   double mean() const {
-    return samples_.empty()
-               ? 0.0
-               : static_cast<double>(sum_) / static_cast<double>(samples_.size());
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
   }
-  Sample max() const { return samples_.empty() ? 0 : max_; }
-  Sample min() const { return samples_.empty() ? 0 : min_; }
+  Sample max() const { return count_ == 0 ? 0 : max_; }
+  Sample min() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t sum() const { return sum_; }
 
   // Nearest-rank percentile with the same rounding the old recorder used:
   // rank = p/100 * (n-1), rounded half-up.  p is clamped to [0, 100].
+  // Computed over the retained samples (exact while nothing was dropped).
   Sample percentile(double p) const {
     if (samples_.empty()) {
       return 0;
@@ -71,8 +118,8 @@ class LatencyHistogram {
     return sorted_[static_cast<std::size_t>(rank + 0.5)];
   }
 
-  // Fraction of samples strictly above `threshold`.  Uses the sorted cache:
-  // O(log n) after the one-time sort instead of a full scan per query.
+  // Fraction of retained samples strictly above `threshold`.  Uses the sorted
+  // cache: O(log n) after the one-time sort instead of a full scan per query.
   double fraction_above(Sample threshold) const {
     if (samples_.empty()) {
       return 0.0;
@@ -96,7 +143,10 @@ class LatencyHistogram {
   }
 
   std::vector<Sample> samples_;
+  std::size_t sample_cap_ = kDefaultSampleCap;
+  std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  std::uint64_t dropped_ = 0;
   Sample min_ = std::numeric_limits<Sample>::max();
   Sample max_ = 0;
   // Query-side cache: mutable so const statistics queries can build it.

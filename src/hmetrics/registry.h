@@ -45,6 +45,7 @@ class Gauge {
  public:
   void Set(double v) { value_ = v; }
   double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
 
  private:
   double value_ = 0.0;
@@ -70,6 +71,21 @@ class Registry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  // Zeroes every series in place without invalidating cached references, so a
+  // bench can reuse one registry (and its resolved handles) across
+  // repetitions with no stale values leaking between runs.
+  void ResetAll() {
+    for (auto& [key, c] : counters_) {
+      c->Reset();
+    }
+    for (auto& [key, g] : gauges_) {
+      g->Reset();
+    }
+    for (auto& [key, h] : histograms_) {
+      h->Reset();
+    }
+  }
+
   // Serializes every series into `w` as elements of an already-open array.
   void WriteSeries(JsonWriter* w) const {
     for (const auto& [key, c] : counters_) {
@@ -92,6 +108,10 @@ class Registry {
       w->Field("p50", h->percentile(50));
       w->Field("p95", h->percentile(95));
       w->Field("p99", h->percentile(99));
+      if (h->samples_dropped() > 0) {
+        // Raw-sample cap hit: order statistics above cover a prefix only.
+        w->Field("dropped", h->samples_dropped());
+      }
       w->EndObject();
     }
   }

@@ -12,6 +12,13 @@
 // ticks_per_us at export time (Chrome traces are in microseconds; the HECTOR
 // model runs at 16 ticks/us).  Track ids (tid) are the caller's processor
 // ids, so a Figure-5 trace shows one lane per simulated CPU.
+//
+// Spans that are still open at export time (the run ended mid-hold) are
+// emitted with dur 0 and an explicit "truncated":true argument, so consumers
+// can tell a truncated span from a genuinely zero-length one.  The
+// high-volume kTraceMemory category is capped (set_memory_event_cap): beyond
+// the cap memory events are dropped and counted, and the Chrome document
+// carries the drop count as a top-level "droppedMemoryEvents" field.
 
 #ifndef HMETRICS_TRACE_H_
 #define HMETRICS_TRACE_H_
@@ -37,32 +44,58 @@ class TraceSession {
  public:
   using SpanId = std::size_t;
   static constexpr std::uint64_t kOpenDur = ~0ull;
+  // Sentinel id handed out for events dropped by the memory-category cap;
+  // EndSpan/AddArg on it are no-ops, so producers need no extra branches.
+  static constexpr SpanId kDroppedSpan = static_cast<SpanId>(-1);
+  // Default cap on kTraceMemory events: one span per individual shared-memory
+  // access adds up fast, and a runaway trace must not exhaust host memory.
+  static constexpr std::size_t kDefaultMemoryEventCap = 1u << 20;
 
   explicit TraceSession(std::uint32_t categories = kTraceAll, double ticks_per_us = 1.0)
       : categories_(categories), ticks_per_us_(ticks_per_us) {}
 
   bool enabled(TraceCategory cat) const { return (categories_ & cat) != 0; }
   void set_ticks_per_us(double t) { ticks_per_us_ = t; }
+  void set_memory_event_cap(std::size_t cap) { memory_event_cap_ = cap; }
+
+  // kTraceMemory events dropped by the cap.
+  std::uint64_t dropped_events() const { return dropped_events_; }
 
   // Opens a span at tick `ts` on track `tid`.  Returns the id to close it
-  // with; the span stays open (dur 0 on export) if never closed.
+  // with; the span is exported with dur 0 and a "truncated":true argument if
+  // never closed.
   SpanId BeginSpan(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
+    if (cat == kTraceMemory && !AdmitMemoryEvent()) {
+      return kDroppedSpan;
+    }
     events_.push_back(Event{std::move(name), CatName(cat), ts, kOpenDur, tid, 'X', {}});
     return events_.size() - 1;
   }
 
   void EndSpan(SpanId id, std::uint64_t ts) {
+    if (id == kDroppedSpan) {
+      return;
+    }
     Event& e = events_[id];
     e.dur = ts >= e.ts ? ts - e.ts : 0;
   }
 
   // Attaches a key/value argument to an event (shown in the trace viewer).
   void AddArg(SpanId id, const std::string& key, std::string value) {
+    if (id == kDroppedSpan) {
+      return;
+    }
     events_[id].args.emplace_back(key, std::move(value));
   }
 
-  void Instant(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
+  // Returns the event id so callers can AddArg to the instant (or
+  // kDroppedSpan if the memory-category cap dropped it).
+  SpanId Instant(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
+    if (cat == kTraceMemory && !AdmitMemoryEvent()) {
+      return kDroppedSpan;
+    }
     events_.push_back(Event{std::move(name), CatName(cat), ts, 0, tid, 'i', {}});
+    return events_.size() - 1;
   }
 
   std::size_t event_count() const { return events_.size(); }
@@ -81,23 +114,30 @@ class TraceSession {
       w->Field("pid", std::uint64_t{0});
       w->Field("tid", std::uint64_t{e.tid});
       w->Field("ts", static_cast<double>(e.ts) / ticks_per_us_);
+      const bool truncated = e.ph == 'X' && e.dur == kOpenDur;
       if (e.ph == 'X') {
         w->Field("dur",
-                 e.dur == kOpenDur ? 0.0 : static_cast<double>(e.dur) / ticks_per_us_);
+                 truncated ? 0.0 : static_cast<double>(e.dur) / ticks_per_us_);
       } else {
         w->Field("s", "t");  // instant scope: thread
       }
-      if (!e.args.empty()) {
+      if (!e.args.empty() || truncated) {
         w->Key("args");
         w->BeginObject();
         for (const auto& [k, v] : e.args) {
           w->Field(k, v);
+        }
+        if (truncated) {
+          w->Field("truncated", true);
         }
         w->EndObject();
       }
       w->EndObject();
     }
     w->EndArray();
+    if (dropped_events_ > 0) {
+      w->Field("droppedMemoryEvents", dropped_events_);
+    }
     w->EndObject();
   }
 
@@ -133,9 +173,21 @@ class TraceSession {
     }
   }
 
+  bool AdmitMemoryEvent() {
+    if (memory_events_ >= memory_event_cap_) {
+      ++dropped_events_;
+      return false;
+    }
+    ++memory_events_;
+    return true;
+  }
+
   std::vector<Event> events_;
   std::uint32_t categories_;
   double ticks_per_us_;
+  std::size_t memory_event_cap_ = kDefaultMemoryEventCap;
+  std::size_t memory_events_ = 0;
+  std::uint64_t dropped_events_ = 0;
 };
 
 }  // namespace hmetrics

@@ -1,0 +1,275 @@
+// Per-lock-site contention statistics -- the lockstat analogue for this repo.
+//
+// A "lock site" is one lock instance worth attributing contention to: a
+// cluster's page-table coarse lock, a program's per-cluster region lock, the
+// shared lock of a Figure-5 stress run, or a native hlock primitive.  Every
+// instrumentable lock carries an optional LockSiteStats* (null by default);
+// when null the hook is a pointer test and the lock's behaviour -- including
+// every simulated instruction and memory access -- is bit-identical to the
+// uninstrumented build.  Recording is a pure host-side observer: it never
+// advances simulated time.
+//
+// What a site records (the paper's Section 4.1 / Figures 4-5 signals):
+//   - acquisitions and contended acquisitions (the acquirer had to wait),
+//   - wait-time and hold-time histograms (ticks; the owner converts via the
+//     table's ticks_per_us),
+//   - maximum queue depth observed (concurrent waiters),
+//   - a handoff matrix counting owner transitions by NUMA distance:
+//     same-processor, same-cluster, cross-cluster -- the signal NUMA-aware
+//     locks (Dice & Kogan's compact NUMA-aware locks, RMA locks) are built
+//     around.
+//
+// Thread-safety: the under-lock calls (RecordAcquire by the new owner,
+// RecordRelease by the current owner) are already serialized by the profiled
+// lock for exclusive locks, but shared users (the hybrid table's reserve
+// sites, where multiple entries are held concurrently) are not; a tiny
+// internal spin mutex makes recording safe either way.  EnterQueue/LeaveQueue
+// happen while *waiting*, concurrently by design, and use atomics only.
+// Under hcheck the internal mutex is never contended (exactly one virtual
+// thread runs between schedule points, and recording contains no schedule
+// points), so instrumentation cannot mask or add interleavings.
+
+#ifndef HPROF_LOCK_SITE_H_
+#define HPROF_LOCK_SITE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/hmetrics/histogram.h"
+#include "src/hmetrics/json.h"
+
+namespace hprof {
+
+inline constexpr const char* kLockProfSchema = "hurricane-lockprof/1";
+
+// NUMA distance of an owner-to-owner transition.
+enum class Handoff : int {
+  kSameProcessor = 0,  // the previous owner re-acquired
+  kSameCluster = 1,    // new owner in the previous owner's cluster
+  kCrossCluster = 2,   // handoff crossed a cluster (station/ring) boundary
+};
+
+class LockSiteStats {
+ public:
+  // `procs_per_cluster` maps owner ids to clusters for handoff
+  // classification: HECTOR stations group 4 processor-memory modules; the
+  // kernel's clusters group config.cluster_size processors; native locks
+  // group dense thread ids (1 = every handoff that changes owner is
+  // cross-cluster, the conservative default).
+  explicit LockSiteStats(std::string name, std::uint32_t procs_per_cluster = 1)
+      : name_(std::move(name)),
+        procs_per_cluster_(procs_per_cluster == 0 ? 1 : procs_per_cluster) {
+    // Wait/hold retention stays modest per site: profiled campaigns create
+    // one site per lock and run for millions of acquisitions.
+    wait_.set_sample_cap(1u << 16);
+    hold_.set_sample_cap(1u << 16);
+  }
+  LockSiteStats(const LockSiteStats&) = delete;
+  LockSiteStats& operator=(const LockSiteStats&) = delete;
+
+  static Handoff Classify(std::uint32_t prev_owner, std::uint32_t new_owner,
+                          std::uint32_t procs_per_cluster) {
+    if (prev_owner == new_owner) {
+      return Handoff::kSameProcessor;
+    }
+    if (procs_per_cluster == 0) {
+      procs_per_cluster = 1;
+    }
+    return prev_owner / procs_per_cluster == new_owner / procs_per_cluster
+               ? Handoff::kSameCluster
+               : Handoff::kCrossCluster;
+  }
+
+  // Monotonic host clock in nanoseconds, for native (non-simulated) locks
+  // whose wait/hold intervals are wall time.  Simulated locks pass ticks of
+  // simulated time instead and never call this.
+  static std::uint64_t NowTicks() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  // Called by the new owner the moment it holds the lock.  `wait` is the
+  // acquire latency in ticks; `contended` whether the acquirer had to wait
+  // (spin retry, queue predecessor, reserved entry).
+  void RecordAcquire(std::uint32_t owner, std::uint64_t wait, bool contended) {
+    SpinGuard guard(&mu_);
+    ++acquisitions_;
+    if (contended) {
+      ++contended_;
+    }
+    wait_.Record(wait);
+    if (has_last_owner_) {
+      ++handoffs_[static_cast<int>(Classify(last_owner_, owner, procs_per_cluster_))];
+    }
+    last_owner_ = owner;
+    has_last_owner_ = true;
+    ClusterShare& share = by_cluster_[owner / procs_per_cluster_];
+    ++share.acquisitions;
+    share.wait_ticks += wait;
+  }
+
+  // Called by the owner at release; `hold` is the critical-section length in
+  // ticks (the caller timed its own hold -- sites with concurrent holders,
+  // like reserve bits, cannot share one start-timestamp slot).
+  void RecordRelease(std::uint64_t hold) {
+    SpinGuard guard(&mu_);
+    hold_.Record(hold);
+  }
+
+  // Waiter-side queue-depth tracking: call EnterQueue when starting to wait,
+  // LeaveQueue once granted (or on abandoning the attempt).
+  void EnterQueue() {
+    const std::uint32_t depth = 1 + queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_queue_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+  void LeaveQueue() { queue_depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+  // --- accessors (quiescent reads; tests and exporters) -----------------------
+  const std::string& name() const { return name_; }
+  std::uint32_t procs_per_cluster() const { return procs_per_cluster_; }
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t contended() const { return contended_; }
+  std::uint64_t uncontended() const { return acquisitions_ - contended_; }
+  std::uint64_t handoffs(Handoff h) const { return handoffs_[static_cast<int>(h)]; }
+  std::uint32_t max_queue_depth() const {
+    return max_queue_depth_.load(std::memory_order_relaxed);
+  }
+  const hmetrics::LatencyHistogram& wait() const { return wait_; }
+  const hmetrics::LatencyHistogram& hold() const { return hold_; }
+  std::uint64_t total_wait_ticks() const { return wait_.sum(); }
+
+  // Which clusters acquired this lock, and how long each waited in aggregate.
+  struct ClusterShare {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t wait_ticks = 0;
+  };
+  const std::map<std::uint32_t, ClusterShare>& by_cluster() const { return by_cluster_; }
+
+  void WriteJson(hmetrics::JsonWriter* w) const {
+    w->BeginObject();
+    w->Field("name", name_);
+    w->Field("procs_per_cluster", std::uint64_t{procs_per_cluster_});
+    w->Field("acquisitions", acquisitions_);
+    w->Field("contended", contended_);
+    w->Field("max_queue_depth", std::uint64_t{max_queue_depth()});
+    w->Key("wait");
+    WriteHistogram(w, wait_);
+    w->Key("hold");
+    WriteHistogram(w, hold_);
+    w->Key("handoffs");
+    w->BeginObject();
+    w->Field("same_processor", handoffs(Handoff::kSameProcessor));
+    w->Field("same_cluster", handoffs(Handoff::kSameCluster));
+    w->Field("cross_cluster", handoffs(Handoff::kCrossCluster));
+    w->EndObject();
+    w->Key("by_cluster");
+    w->BeginObject();
+    for (const auto& [cluster, share] : by_cluster_) {
+      w->Key(std::to_string(cluster));
+      w->BeginObject();
+      w->Field("acquisitions", share.acquisitions);
+      w->Field("wait_sum", share.wait_ticks);
+      w->EndObject();
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+
+ private:
+  // Minimal TTAS mutex on a std::atomic_flag: hprof sits below hlock in the
+  // dependency order, so it cannot borrow hlock's spin locks.
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag* f) : flag(f) {
+      while (flag->test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag->clear(std::memory_order_release); }
+    std::atomic_flag* flag;
+  };
+
+  static void WriteHistogram(hmetrics::JsonWriter* w, const hmetrics::LatencyHistogram& h) {
+    w->BeginObject();
+    w->Field("count", h.count());
+    w->Field("sum", h.sum());
+    w->Field("min", h.min());
+    w->Field("max", h.max());
+    w->Field("mean", h.mean());
+    w->Field("p50", h.percentile(50));
+    w->Field("p95", h.percentile(95));
+    w->Field("p99", h.percentile(99));
+    w->EndObject();
+  }
+
+  std::string name_;
+  std::uint32_t procs_per_cluster_;
+  std::atomic_flag mu_ = ATOMIC_FLAG_INIT;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+  std::uint64_t handoffs_[3] = {0, 0, 0};
+  std::uint32_t last_owner_ = 0;
+  bool has_last_owner_ = false;
+  hmetrics::LatencyHistogram wait_;
+  hmetrics::LatencyHistogram hold_;
+  std::map<std::uint32_t, ClusterShare> by_cluster_;
+  std::atomic<std::uint32_t> queue_depth_{0};
+  std::atomic<std::uint32_t> max_queue_depth_{0};
+};
+
+// The profiling session: a named collection of lock sites with stable
+// addresses (locks cache the LockSiteStats* they are handed).  Exported as a
+// hurricane-lockprof/1 JSON document, the input format of the hprof CLI.
+class SiteTable {
+ public:
+  // `ticks_per_us` converts the sites' tick histograms for reporting: 16 for
+  // the HECTOR simulator, 1000 for native locks timed in nanoseconds.
+  explicit SiteTable(double ticks_per_us = 1.0) : ticks_per_us_(ticks_per_us) {}
+  SiteTable(const SiteTable&) = delete;
+  SiteTable& operator=(const SiteTable&) = delete;
+
+  LockSiteStats& AddSite(std::string name, std::uint32_t procs_per_cluster = 1) {
+    sites_.emplace_back(std::move(name), procs_per_cluster);
+    return sites_.back();
+  }
+
+  double ticks_per_us() const { return ticks_per_us_; }
+  std::size_t size() const { return sites_.size(); }
+  const LockSiteStats& site(std::size_t i) const { return sites_[i]; }
+  LockSiteStats& site(std::size_t i) { return sites_[i]; }
+
+  void WriteJson(hmetrics::JsonWriter* w) const {
+    w->BeginObject();
+    w->Field("schema", kLockProfSchema);
+    w->Field("ticks_per_us", ticks_per_us_);
+    w->Key("sites");
+    w->BeginArray();
+    for (const LockSiteStats& s : sites_) {
+      s.WriteJson(w);
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+
+  std::string ToJson() const {
+    hmetrics::JsonWriter w;
+    WriteJson(&w);
+    return w.Take();
+  }
+
+ private:
+  double ticks_per_us_;
+  std::deque<LockSiteStats> sites_;  // deque: stable addresses across AddSite
+};
+
+}  // namespace hprof
+
+#endif  // HPROF_LOCK_SITE_H_

@@ -25,6 +25,7 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
     span = tr->BeginSpan(hmetrics::kTraceLocks, "lock/acquire", p.id(), p.now());
     tr->AddArg(span, "lock", name());
   }
+  const Tick wait_start = p.now();
 
   if (variant_ == McsVariant::kOriginal) {
     // I->next := nil  -- hoisted out of the critical path by modification H1.
@@ -35,6 +36,10 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
   // Compare predecessor against nil, branch, return (uncontended exit).
   co_await p.Exec(1, 2);
   if (pred == kNil) {
+    if (site_ != nullptr) {
+      site_->RecordAcquire(p.id(), p.now() - wait_start, /*contended=*/false);
+      hold_start_ = p.now();
+    }
     if (tr != nullptr) {
       tr->EndSpan(span, p.now());
     }
@@ -42,6 +47,9 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
   }
 
   // Contended path: link behind the predecessor and spin on our own node.
+  if (site_ != nullptr) {
+    site_->EnterQueue();
+  }
   if (variant_ == McsVariant::kOriginal) {
     // I->locked := true.  H1/H2 keep the flag pre-set at rest.
     co_await p.Store(*node.locked, 1);
@@ -66,6 +74,11 @@ Task<void> SimMcsLock::Acquire(Processor& p) {
     // handoff chain under contention.
     p.PostStore(*node.locked, 1);
   }
+  if (site_ != nullptr) {
+    site_->LeaveQueue();
+    site_->RecordAcquire(p.id(), p.now() - wait_start, /*contended=*/true);
+    hold_start_ = p.now();
+  }
   if (tr != nullptr) {
     tr->EndSpan(span, p.now());
   }
@@ -78,8 +91,14 @@ Task<void> SimMcsLock::HandOff(Processor& p, std::uint64_t successor_id1) {
 Task<void> SimMcsLock::Release(Processor& p) {
   const std::uint64_t me = p.id() + 1;
   QNode& node = qnodes_[p.id()];
+  if (site_ != nullptr) {
+    site_->RecordRelease(p.now() - hold_start_);
+  }
   if (machine_->trace_enabled(hmetrics::kTraceLocks)) {
-    machine_->trace()->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+    hmetrics::TraceSession* tr = machine_->trace();
+    const hmetrics::TraceSession::SpanId id =
+        tr->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+    tr->AddArg(id, "lock", name());
   }
 
   std::uint64_t succ = kNil;

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "src/hprof/lock_site.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/task.h"
 
@@ -27,6 +28,16 @@ class SimLock {
   virtual Task<void> Release(Processor& p) = 0;
 
   virtual std::string name() const = 0;
+
+  // Attaches a profiling site (null detaches).  Recording observes simulated
+  // time but never advances it: a profiled run is tick-identical to an
+  // unprofiled one.  Wait/hold samples are in ticks.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
+  hprof::LockSiteStats* site() const { return site_; }
+
+ protected:
+  hprof::LockSiteStats* site_ = nullptr;
+  Tick hold_start_ = 0;  // grant time of the current owner (site_ attached only)
 };
 
 // Which coarse-grained lock algorithm a simulated kernel uses.

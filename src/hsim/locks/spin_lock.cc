@@ -25,12 +25,18 @@ Task<void> SimSpinLock::Acquire(Processor& p) {
     span = tr->BeginSpan(hmetrics::kTraceLocks, "lock/acquire", p.id(), p.now());
     tr->AddArg(span, "lock", name());
   }
+  const Tick wait_start = p.now();
+  bool queued = false;
   // First attempt: test_and_set; then the uncontended exit charges the
   // delay-register init, the test branch and the return (Figure 4: Spin row,
   // acquire half).
   std::uint64_t old = co_await p.FetchStore(word_, kLocked);
   co_await p.Exec(1, 2);
   Tick delay = base_backoff_;
+  if (site_ != nullptr && old == kLocked) {
+    site_->EnterQueue();
+    queued = true;
+  }
   while (old == kLocked) {
     // Back off without generating memory traffic, then retry the swap.  As in
     // Figure 3c the delay doubles deterministically from a small base: fresh
@@ -43,18 +49,31 @@ Task<void> SimSpinLock::Acquire(Processor& p) {
     co_await p.Exec(1, 1);
   }
   ++acquisitions_;
+  if (site_ != nullptr) {
+    if (queued) {
+      site_->LeaveQueue();
+    }
+    site_->RecordAcquire(p.id(), p.now() - wait_start, queued);
+    hold_start_ = p.now();
+  }
   if (tr != nullptr) {
     tr->EndSpan(span, p.now());
   }
 }
 
 Task<void> SimSpinLock::Release(Processor& p) {
+  if (site_ != nullptr) {
+    site_->RecordRelease(p.now() - hold_start_);
+  }
   // HECTOR has no plain way to order an uncached store after the critical
   // section's accesses, so the release is also a swap (counted atomic).
   co_await p.FetchStore(word_, kUnlocked);
   co_await p.Exec(0, 1);
   if (machine_->trace_enabled(hmetrics::kTraceLocks)) {
-    machine_->trace()->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+    hmetrics::TraceSession* tr = machine_->trace();
+    const hmetrics::TraceSession::SpanId id =
+        tr->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
+    tr->AddArg(id, "lock", name());
   }
 }
 

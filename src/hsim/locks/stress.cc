@@ -1,6 +1,9 @@
 #include "src/hsim/locks/stress.h"
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
@@ -65,6 +68,7 @@ LockStressResult RunLockStress(const LockStressParams& params) {
   Machine machine(&engine, params.machine);
   machine.set_trace(params.trace);
   std::unique_ptr<SimLock> lock = MakeLock(&machine, params.kind, params.lock_home);
+  lock->set_site(params.site);
 
   LockStressResult result;
   Shared shared;
@@ -115,6 +119,67 @@ LockStressResult RunLockStress(const LockStressParams& params) {
     auto& h = params.metrics->histogram("lock.acquire_ticks", labels);
     h.Merge(result.acquire_latency);
   }
+  return result;
+}
+
+namespace {
+
+// One processor's life in the profiled contention scenario: a globally shared
+// critical section followed by a station-local one, forever.
+Task<void> ContentionDriver(Processor* p, SimLock* shared, SimLock* local,
+                            const ProfiledContentionParams* params,
+                            ProfiledContentionResult* result, Tick deadline) {
+  while (p->now() < deadline) {
+    co_await shared->Acquire(*p);
+    ++result->shared_acquisitions;
+    co_await p->Compute(params->hold_shared);
+    co_await shared->Release(*p);
+    if (params->think > 0) {
+      co_await p->Compute(params->think);
+    }
+    co_await local->Acquire(*p);
+    ++result->local_acquisitions;
+    co_await p->Compute(params->hold_local);
+    co_await local->Release(*p);
+    if (params->think > 0) {
+      co_await p->Compute(params->think);
+    }
+  }
+}
+
+}  // namespace
+
+ProfiledContentionResult RunProfiledContention(const ProfiledContentionParams& params,
+                                               hprof::SiteTable* sites) {
+  Engine engine;
+  Machine machine(&engine, params.machine);
+  machine.set_trace(params.trace);
+  const std::uint32_t ppc = params.machine.modules_per_station;
+
+  // The shared lock lives on module 0 (cluster 0's memory): every other
+  // cluster pays ring crossings to reach it, exactly the Figure 5 setup.
+  std::unique_ptr<SimLock> shared = MakeLock(&machine, params.kind, /*home=*/0);
+  if (sites != nullptr) {
+    shared->set_site(&sites->AddSite("kernel/shared", ppc));
+  }
+  std::vector<std::unique_ptr<SimLock>> locals;
+  for (std::uint32_t s = 0; s < params.machine.stations; ++s) {
+    locals.push_back(MakeLock(&machine, params.kind, /*home=*/s * ppc));
+    if (sites != nullptr) {
+      locals.back()->set_site(
+          &sites->AddSite("cluster" + std::to_string(s) + "/local", ppc));
+    }
+  }
+
+  ProfiledContentionResult result;
+  const Tick deadline = params.warmup + params.duration;
+  const std::uint32_t nprocs =
+      std::min(params.processors, params.machine.num_processors());
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    engine.Spawn(ContentionDriver(&machine.processor(p), shared.get(),
+                                  locals[p / ppc].get(), &params, &result, deadline));
+  }
+  engine.RunUntilIdle();
   return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/hmetrics/registry.h"
 #include "src/hmetrics/trace.h"
+#include "src/hprof/lock_site.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/stats.h"
@@ -32,9 +33,11 @@ struct LockStressParams {
   MachineConfig machine;               // e.g. cache_coherent for Section 5.2
   // Optional observability hooks.  `trace` receives lock-acquire/release (and,
   // category permitting, memory-access) spans; `metrics` receives the run's
-  // aggregate OpStats and lock counters as labeled series.
+  // aggregate OpStats and lock counters as labeled series; `site` receives
+  // per-acquisition wait/hold/handoff samples for the stressed lock.
   hmetrics::TraceSession* trace = nullptr;
   hmetrics::Registry* metrics = nullptr;
+  hprof::LockSiteStats* site = nullptr;
 };
 
 struct LockStressResult {
@@ -63,6 +66,36 @@ struct LockStressResult {
 };
 
 LockStressResult RunLockStress(const LockStressParams& params);
+
+// The profiled contention scenario behind `fig5_lock_contention --profile`:
+// every processor alternates between one machine-wide shared lock (the
+// paper's worst case: a global kernel lock with a ~2 us critical section) and
+// its own station's lock (the clustered alternative HURRICANE argues for).
+// With profiling sites attached, the shared lock must dominate the hprof
+// ranking and show cross-cluster handoffs; the per-station locks stay cheap
+// and cluster-local.
+struct ProfiledContentionParams {
+  LockKind kind = LockKind::kMcsH2;
+  std::uint32_t processors = 16;
+  Tick hold_shared = UsToTicks(2);  // critical section under the shared lock
+  Tick hold_local = UsToTicks(1);   // critical section under the station lock
+  Tick think = UsToTicks(1);        // gap between sections
+  Tick warmup = UsToTicks(200);
+  Tick duration = UsToTicks(5000);
+  MachineConfig machine;
+  hmetrics::TraceSession* trace = nullptr;
+};
+
+struct ProfiledContentionResult {
+  std::uint64_t shared_acquisitions = 0;
+  std::uint64_t local_acquisitions = 0;
+};
+
+// Runs the scenario with one site per lock added to `sites` (which must
+// outlive the call): "kernel/shared" plus one "cluster<s>/local" per station.
+// Pass sites == nullptr for an unprofiled (bit-identical baseline) run.
+ProfiledContentionResult RunProfiledContention(const ProfiledContentionParams& params,
+                                               hprof::SiteTable* sites);
 
 // Uncontended lock/unlock pair latency for the Section 4.1.1 table.  The lock
 // word is placed on a remote station (kernel locks are rarely local), and the

@@ -1,0 +1,111 @@
+// Model-checks the hprof instrumentation hooks: attaching a LockSiteStats to
+// the MCS locks must not perturb mutual exclusion or quiescence on the hcheck
+// weak-memory model, and the recorded counts must reconcile with what the
+// schedule actually did.
+//
+// The hooks are sound under hcheck because recording uses plain std::atomic
+// operations (invisible to the checker's schedule explorer) and introduces no
+// schedule points: the checker explores exactly the same interleavings as for
+// an uninstrumented lock.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/hcheck/checker.h"
+#include "src/hcheck/platform.h"
+#include "src/hlock/mcs_locks.h"
+#include "src/hprof/lock_site.h"
+
+namespace {
+
+using McsLock = hlock::BasicMcsLock<hcheck::Platform>;
+using McsH2Lock = hlock::BasicMcsH2Lock<hcheck::Platform>;
+
+TEST(InstrumentedMcsHcheck, ClassicMutualExclusionWithSite) {
+  hcheck::Options opts;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto site = std::make_shared<hprof::LockSiteStats>("hcheck/classic");
+    auto lock = std::make_shared<McsLock>();
+    lock->set_site(site.get());
+    auto mx = std::make_shared<hcheck::MutualExclusion>();
+    auto worker = [lock, mx] {
+      McsLock::QNode node;
+      lock->lock(node);
+      mx->Enter();
+      mx->Exit();
+      lock->unlock(node);
+    };
+    hcheck::Thread t = hcheck::Spawn(worker);
+    worker();
+    t.Join();
+    HCHECK_ASSERT(mx->entries() == 2);
+    // The site saw every acquisition, and every one also released.
+    HCHECK_ASSERT(site->acquisitions() == 2);
+    HCHECK_ASSERT(site->contended() + site->uncontended() == 2);
+    HCHECK_ASSERT(site->hold().count() == 2);
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+TEST(InstrumentedMcsHcheck, H2MutualExclusionWithSite) {
+  hcheck::Options opts;
+  opts.max_schedules = 60000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto site = std::make_shared<hprof::LockSiteStats>("hcheck/h2");
+    auto lock = std::make_shared<McsH2Lock>();
+    lock->set_site(site.get());
+    auto mx = std::make_shared<hcheck::MutualExclusion>();
+    auto worker = [lock, mx] {
+      lock->lock();
+      mx->Enter();
+      mx->Exit();
+      lock->unlock();
+    };
+    hcheck::Thread t = hcheck::Spawn(worker);
+    worker();
+    t.Join();
+    HCHECK_ASSERT(mx->entries() == 2);
+    // Quiescence with the site still attached: try_lock records too.
+    HCHECK_ASSERT(lock->try_lock());
+    lock->unlock();
+    HCHECK_ASSERT(site->acquisitions() == 3);
+    HCHECK_ASSERT(site->hold().count() == 3);
+    // With two distinct thread ids, every owner transition is classified.
+    HCHECK_ASSERT(site->handoffs(hprof::Handoff::kSameProcessor) +
+                      site->handoffs(hprof::Handoff::kSameCluster) +
+                      site->handoffs(hprof::Handoff::kCrossCluster) ==
+                  2);
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+TEST(InstrumentedMcsHcheck, H2ThreeThreadsQueueDepthBounded) {
+  hcheck::Options opts;
+  opts.max_schedules = 20000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto site = std::make_shared<hprof::LockSiteStats>("hcheck/h2-3t");
+    auto lock = std::make_shared<McsH2Lock>();
+    lock->set_site(site.get());
+    auto mx = std::make_shared<hcheck::MutualExclusion>();
+    auto worker = [lock, mx] {
+      lock->lock();
+      mx->Enter();
+      mx->Exit();
+      lock->unlock();
+    };
+    hcheck::Thread a = hcheck::Spawn(worker);
+    hcheck::Thread b = hcheck::Spawn(worker);
+    worker();
+    a.Join();
+    b.Join();
+    HCHECK_ASSERT(mx->entries() == 3);
+    HCHECK_ASSERT(site->acquisitions() == 3);
+    // At most two threads can ever be queued behind the holder.
+    HCHECK_ASSERT(site->max_queue_depth() <= 2);
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+}  // namespace

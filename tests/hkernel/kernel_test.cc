@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/hkernel/workloads.h"
+#include "src/hprof/lock_site.h"
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/reserve_bit.h"
 #include "src/hsim/machine.h"
@@ -232,6 +235,56 @@ TEST(ProgramTest, RegionReplicasAreSpreadAcrossModules) {
   // Different programs' region structures live on different modules of the
   // (single) cluster, so independent programs do not collide.
   EXPECT_NE(p0.region_word(0, 0).home, p1.region_word(0, 0).home);
+}
+
+TEST(FaultTest, LockProfilerAttributesKernelLocks) {
+  // An unprofiled baseline first: attaching sites must not move a single
+  // simulated tick.
+  hsim::Tick bare_total = 0;
+  {
+    Rig rig(4);
+    Program& prog = rig.system.CreateProgram();
+    FaultOutcome out;
+    rig.engine.Spawn([](Rig* r, Program* pr, FaultOutcome* o) -> hsim::Task<void> {
+      co_await r->system.PageFault(r->machine.processor(0), *pr,
+                                   KernelSystem::MakePage(0, 1), o);
+    }(&rig, &prog, &out));
+    rig.engine.RunUntilIdle();
+    bare_total = out.total;
+  }
+
+  Rig rig(4);
+  hprof::SiteTable sites(16.0);
+  rig.system.AttachLockProfiler(&sites);
+  // 4 clusters: one page-table site each, then one region site per cluster
+  // for the program created after attachment.
+  Program& prog = rig.system.CreateProgram();
+  ASSERT_EQ(sites.size(), 8u);
+  EXPECT_EQ(sites.site(0).name(), "cluster0/page-table");
+  EXPECT_EQ(sites.site(4).name(), "program0/cluster0/region");
+
+  FaultOutcome out;
+  rig.engine.Spawn([](Rig* r, Program* pr, FaultOutcome* o) -> hsim::Task<void> {
+    co_await r->system.PageFault(r->machine.processor(0), *pr,
+                                 KernelSystem::MakePage(0, 1), o);
+  }(&rig, &prog, &out));
+  rig.engine.RunUntilIdle();
+  EXPECT_EQ(out.total, bare_total);
+
+  // The local fault's locking lands on cluster 0's sites; the wait/hold
+  // histograms carry the simulated ticks the fault spent under the locks.
+  std::uint64_t recorded = 0;
+  std::uint64_t hold_ticks = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    recorded += sites.site(i).acquisitions();
+    hold_ticks += sites.site(i).hold().sum();
+    if (sites.site(i).acquisitions() > 0) {
+      EXPECT_TRUE(sites.site(i).name().find("cluster0") != std::string::npos)
+          << sites.site(i).name();
+    }
+  }
+  EXPECT_GT(recorded, 0u);
+  EXPECT_GT(hold_ticks, 0u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "src/hlock/fine_table.h"
+#include "src/hprof/lock_site.h"
 
 namespace hlock {
 namespace {
@@ -196,6 +197,29 @@ TEST(GlobalTable, BasicAndConcurrent) {
     w.join();
   }
   EXPECT_EQ(table.Peek(3), 2000);
+}
+
+TEST(HybridTable, ReserveSiteRecordsExclusiveReservations) {
+  hprof::LockSiteStats site("table/reserve");
+  HybridTable<int, int> table;
+  table.set_reserve_site(&site);
+  {
+    auto guard = table.Acquire(1);  // uncontended reserve
+    guard.value() = 10;
+  }
+  {
+    auto a = table.Acquire(1);
+    auto b = table.TryAcquire(2);  // concurrent exclusive holds both record
+    ASSERT_TRUE(b);
+  }
+  EXPECT_EQ(site.acquisitions(), 3u);
+  EXPECT_EQ(site.hold().count(), 3u);
+  // TryAcquire on a reserved entry fails without recording an acquisition.
+  {
+    auto held = table.Acquire(3);
+    EXPECT_FALSE(table.TryAcquire(3));
+  }
+  EXPECT_EQ(site.acquisitions(), 4u);
 }
 
 }  // namespace

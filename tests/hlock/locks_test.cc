@@ -13,6 +13,7 @@
 
 #include "src/hlock/mcs_locks.h"
 #include "src/hlock/spin_locks.h"
+#include "src/hprof/lock_site.h"
 
 namespace hlock {
 namespace {
@@ -174,6 +175,34 @@ TEST(NativeLocks, TicketTryLockFailsWhileHeld) {
   lock.unlock();
   EXPECT_TRUE(lock.try_lock());
   lock.unlock();
+}
+
+// Profiling hooks on the native locks: counts reconcile with the work done,
+// and mutual exclusion is unaffected (the stress helper asserts it).
+TEST(NativeLocks, ProfiledTtasRecordsEveryAcquisition) {
+  hprof::LockSiteStats site("native/ttas");
+  TtasSpinLock lock;
+  lock.set_site(&site);
+  MutualExclusionStress(lock, kThreads, kIters);
+  EXPECT_EQ(site.acquisitions(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(site.hold().count(), site.acquisitions());
+  EXPECT_EQ(site.wait().count(), site.acquisitions());
+}
+
+TEST(NativeLocks, ProfiledMcsH2RecordsContentionAndHandoffs) {
+  hprof::LockSiteStats site("native/mcs-h2");
+  McsH2Lock lock;
+  lock.set_site(&site);
+  MutualExclusionStress(lock, kThreads, kIters);
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(site.acquisitions(), total);
+  EXPECT_EQ(site.hold().count(), total);
+  // Every owner transition is classified somewhere in the matrix.
+  EXPECT_EQ(site.handoffs(hprof::Handoff::kSameProcessor) +
+                site.handoffs(hprof::Handoff::kSameCluster) +
+                site.handoffs(hprof::Handoff::kCrossCluster),
+            total - 1);
 }
 
 }  // namespace

@@ -124,6 +124,62 @@ TEST(LatencyHistogram, MergeIntoQueriedHistogram) {
   EXPECT_EQ(a.count(), 2u);
 }
 
+TEST(LatencyHistogram, SampleCapDropsRetentionNotStatistics) {
+  LatencyHistogram h;
+  h.set_sample_cap(4);
+  for (std::uint64_t v = 1; v <= 10; ++v) {
+    h.Record(v);
+  }
+  // Streaming statistics still see all 10 samples...
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 55u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  // ...but only the first 4 are retained for order statistics.
+  EXPECT_EQ(h.samples_dropped(), 6u);
+  EXPECT_EQ(h.samples().size(), 4u);
+  EXPECT_EQ(h.percentile(100), 4u);
+}
+
+TEST(LatencyHistogram, MergeRespectsDestinationCap) {
+  LatencyHistogram a;
+  a.set_sample_cap(3);
+  a.Record(1);
+  a.Record(2);
+  LatencyHistogram b;
+  b.Record(3);
+  b.Record(4);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 10u);
+  EXPECT_EQ(a.samples().size(), 3u);  // room for one of b's two samples
+  EXPECT_EQ(a.samples_dropped(), 1u);
+  EXPECT_EQ(a.max(), 4u);
+}
+
+TEST(LatencyHistogram, ResetForgetsEverythingButKeepsCap) {
+  LatencyHistogram h;
+  h.set_sample_cap(2);
+  h.Record(5);
+  h.Record(6);
+  h.Record(7);  // dropped by the cap
+  EXPECT_EQ(h.samples_dropped(), 1u);
+  h.Reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.samples_dropped(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.sample_cap(), 2u);  // the cap survives
+  h.Record(9);
+  h.Record(10);
+  h.Record(11);
+  EXPECT_EQ(h.samples_dropped(), 1u);  // and still applies
+}
+
 TEST(LatencyHistogram, StreamingStatsWithoutSort) {
   // mean/min/max/sum are streaming: correct even if percentile is never
   // called (no hidden dependency on the sorted cache).

@@ -92,5 +92,32 @@ TEST(Registry, ToJsonParsesBack) {
   EXPECT_TRUE(saw_hist);
 }
 
+TEST(RegistryTest, ResetAllZeroesEverySeriesInPlace) {
+  Registry reg;
+  Counter& c = reg.counter("ops", {{"lock", "mcs"}});
+  Gauge& g = reg.gauge("util");
+  LatencyHistogram& h = reg.histogram("wait");
+  h.set_sample_cap(2);
+  c.Add(7);
+  g.Set(0.75);
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);  // dropped by the cap
+
+  reg.ResetAll();
+
+  // The same references stay valid and read as zero...
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.samples_dropped(), 0u);
+  // ...no series was deleted, and the handles still record.
+  EXPECT_EQ(reg.series_count(), 3u);
+  c.Increment();
+  h.Record(5);
+  EXPECT_EQ(reg.counter("ops", {{"lock", "mcs"}}).value(), 1u);
+  EXPECT_EQ(reg.histogram("wait").count(), 1u);
+}
+
 }  // namespace
 }  // namespace hmetrics

@@ -169,5 +169,52 @@ TEST(TraceSessionTest, KernelRpcExportsCallAndHandleSpans) {
   }
 }
 
+TEST(TraceSessionTest, OpenSpansExportAsTruncated) {
+  TraceSession trace(kTraceLocks, /*ticks_per_us=*/16.0);
+  const TraceSession::SpanId id =
+      trace.BeginSpan(kTraceLocks, "lock/acquire", 1, 160);
+  trace.AddArg(id, "lock", "shared");
+  // Never closed: the run ended while the processor was still waiting.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+  const JsonValue& span = doc["traceEvents"].at(0);
+  EXPECT_DOUBLE_EQ(span["dur"].number, 0.0);
+  EXPECT_TRUE(span["args"]["truncated"].bool_value);
+  EXPECT_EQ(span["args"]["lock"].string_value, "shared");
+}
+
+TEST(TraceSessionTest, MemoryEventCapDropsAndCounts) {
+  TraceSession trace(kTraceAll, 1.0);
+  trace.set_memory_event_cap(2);
+  EXPECT_NE(trace.BeginSpan(kTraceMemory, "mem/read", 0, 1), TraceSession::kDroppedSpan);
+  EXPECT_NE(trace.Instant(kTraceMemory, "mem/write", 0, 2), TraceSession::kDroppedSpan);
+  // Beyond the cap: dropped, counted, and safe to use as a span id.
+  const TraceSession::SpanId dropped = trace.BeginSpan(kTraceMemory, "mem/read", 0, 3);
+  EXPECT_EQ(dropped, TraceSession::kDroppedSpan);
+  trace.AddArg(dropped, "addr", "0x10");  // no-op, must not crash
+  trace.EndSpan(dropped, 4);
+  EXPECT_EQ(trace.Instant(kTraceMemory, "mem/write", 0, 5), TraceSession::kDroppedSpan);
+  EXPECT_EQ(trace.dropped_events(), 2u);
+  // Non-memory categories are never capped.
+  EXPECT_NE(trace.Instant(kTraceLocks, "lock/release", 0, 6), TraceSession::kDroppedSpan);
+  EXPECT_EQ(trace.event_count(), 3u);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc["droppedMemoryEvents"].number, 2.0);
+}
+
+TEST(TraceSessionTest, InstantReturnsIdForArgs) {
+  TraceSession trace(kTraceLocks, 1.0);
+  const TraceSession::SpanId id = trace.Instant(kTraceLocks, "lock/release", 2, 10);
+  trace.AddArg(id, "lock", "pgtbl");
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+  EXPECT_EQ(doc["traceEvents"].at(0)["args"]["lock"].string_value, "pgtbl");
+}
+
 }  // namespace
 }  // namespace hmetrics

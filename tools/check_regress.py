@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Compare BENCH_RESULTS.json against a committed baseline.
+
+Usage:
+    tools/check_regress.py [--baseline FILE] [--results FILE] [--self-test]
+
+The baseline is a BENCH_RESULTS.json snapshot (an array of
+hurricane-bench-report/1 documents) committed as BENCH_BASELINE.json.  Every
+series in the baseline must still exist in the results (matched by bench name,
+series name, and the full label set), every point must still exist (matched by
+index), and every numeric field must stay inside the tolerance band:
+
+  * coordinate fields (p, cap_us, hold_us, cluster_size, ...) must match
+    exactly -- a changed sweep is a schema change, not noise;
+  * frac_* fields (starvation fractions etc.) may move by +/- 0.1 absolute;
+  * everything else passes when |new - old| <= 0.5 or the relative change is
+    at most 35%.  The simulator is deterministic, but smoke runs are short and
+    scheduling-order changes legitimately move tail metrics; the band is wide
+    enough for that and still catches 2x regressions.
+
+Wall-clock native benches (native_*) are skipped entirely: their numbers
+measure the CI machine, not the code.
+
+Extra series/points/fields in the results are allowed (new benches should not
+fail the gate); anything missing or out of band fails it.
+
+Exit status: 0 clean, 1 regression or missing data, 2 usage/IO error.
+Requires only the Python 3 standard library.
+"""
+
+import argparse
+import json
+import sys
+
+# Wall-clock benches: their numbers vary with host load, so they are excluded
+# from the gate (they still run and land in BENCH_RESULTS.json).
+SKIP_BENCHES = {"native_lock_latency", "native_hybrid_table", "native_cluster"}
+
+# Sweep coordinates: must match exactly between baseline and results.
+COORD_KEYS = {"p", "cap_us", "hold_us", "cluster_size", "clusters", "procs",
+              "processors", "drop_pct", "dup_pct", "iters"}
+
+ABS_TOL = 0.5        # absolute slack for generic metrics
+REL_TOL = 0.35       # relative slack for generic metrics
+FRAC_ABS_TOL = 0.1   # absolute slack for frac_* fields (already in [0, 1])
+
+
+def series_key(bench, series):
+    return (bench, series.get("name", ""),
+            tuple(sorted((series.get("labels") or {}).items())))
+
+
+def index_reports(reports):
+    """Maps (bench, series name, labels) -> list of points."""
+    out = {}
+    for report in reports:
+        bench = report.get("bench", "")
+        if bench in SKIP_BENCHES:
+            continue
+        for series in report.get("series", []):
+            out[series_key(bench, series)] = series.get("points", [])
+    return out
+
+
+def field_ok(key, old, new):
+    if not isinstance(old, (int, float)) or isinstance(old, bool):
+        return old == new
+    if not isinstance(new, (int, float)) or isinstance(new, bool):
+        return False
+    if key in COORD_KEYS:
+        return old == new
+    if key.startswith("frac_"):
+        return abs(new - old) <= FRAC_ABS_TOL
+    if abs(new - old) <= ABS_TOL:
+        return True
+    denom = max(abs(old), abs(new))
+    return abs(new - old) <= REL_TOL * denom
+
+
+def compare(baseline, results):
+    """Returns a list of human-readable regression descriptions."""
+    base_idx = index_reports(baseline)
+    new_idx = index_reports(results)
+    problems = []
+    for key, base_points in sorted(base_idx.items()):
+        bench, name, labels = key
+        where = f"{bench}/{name}{dict(labels)}"
+        new_points = new_idx.get(key)
+        if new_points is None:
+            problems.append(f"missing series: {where}")
+            continue
+        if len(new_points) < len(base_points):
+            problems.append(f"{where}: {len(base_points)} points in baseline, "
+                            f"only {len(new_points)} in results")
+            continue
+        for i, base_point in enumerate(base_points):
+            new_point = new_points[i]
+            for field, old in sorted(base_point.items()):
+                if field not in new_point:
+                    problems.append(f"{where}[{i}]: field {field!r} missing")
+                    continue
+                new = new_point[field]
+                if not field_ok(field, old, new):
+                    problems.append(
+                        f"{where}[{i}].{field}: baseline {old!r} -> {new!r} "
+                        f"(outside tolerance)")
+    return problems
+
+
+def self_test():
+    """Exercises the comparator on synthetic documents; returns exit status."""
+    base = [{"bench": "b", "params": {}, "env": {},
+             "series": [{"name": "s", "labels": {"lock": "mcs"},
+                         "points": [{"p": 4, "w_us": 100.0,
+                                     "frac_over_2ms": 0.05}]}]}]
+    same = json.loads(json.dumps(base))
+    drifted = json.loads(json.dumps(base))
+    drifted[0]["series"][0]["points"][0]["w_us"] = 120.0  # +20%: in band
+    perturbed = json.loads(json.dumps(base))
+    perturbed[0]["series"][0]["points"][0]["w_us"] = 250.0  # 2.5x: regression
+    missing = [{"bench": "b", "params": {}, "env": {}, "series": []}]
+    skipped = json.loads(json.dumps(base))
+    skipped[0]["bench"] = "native_cluster"
+
+    checks = [
+        ("identical results pass", compare(base, same) == []),
+        ("in-band drift passes", compare(base, drifted) == []),
+        ("perturbed metric fails", compare(base, perturbed) != []),
+        ("missing series fails", compare(base, missing) != []),
+        ("changed coordinate fails",
+         compare(base, [{"bench": "b", "series": [
+             {"name": "s", "labels": {"lock": "mcs"},
+              "points": [{"p": 8, "w_us": 100.0,
+                          "frac_over_2ms": 0.05}]}]}]) != []),
+        ("native benches are skipped", compare(skipped, missing) == []),
+    ]
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test: {len(failed)} of {len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", default="BENCH_BASELINE.json")
+    parser.add_argument("--results", default="BENCH_RESULTS.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the comparator itself and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.results) as f:
+            results = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regress: {e}", file=sys.stderr)
+        return 2
+
+    problems = compare(baseline, results)
+    n_series = len(index_reports(baseline))
+    if problems:
+        print(f"check_regress: {len(problems)} problem(s) against "
+              f"{args.baseline}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_regress: OK ({n_series} baseline series within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
