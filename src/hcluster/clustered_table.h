@@ -23,12 +23,14 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/hcluster/runtime.h"
 #include "src/hcluster/topology.h"
 #include "src/hlock/hybrid_table.h"
+#include "src/hprof/lock_site.h"
 
 namespace hcluster {
 
@@ -171,6 +173,36 @@ class ClusteredTable {
         runtime_->ServiceInbox();
         std::this_thread::yield();
       }
+    }
+  }
+
+  // Drops the calling cluster's replica of `key` (cache eviction under
+  // memory pressure; also what keeps replication traffic alive in stress
+  // tests).  Refuses at the home cluster -- that copy is authoritative -- and
+  // while the local entry is reserved.  The home's replica mask keeps the
+  // stale bit; a later broadcast to this cluster finds a value-less shell and
+  // skips it, and the next Get simply re-replicates.  Must be called from a
+  // worker process.
+  bool DropLocal(const K& key) {
+    const WorkerId self = runtime_->current_worker();
+    const ClusterId my_cluster = runtime_->topology().cluster_of(self);
+    if (my_cluster == home_cluster(key)) {
+      return false;
+    }
+    return replicas_[my_cluster]->table.Erase(key);
+  }
+
+  // Attaches two profiling sites per cluster replica to `sites`: the coarse
+  // table lock and the reserve-word (fine-grain) site.  Wait/hold samples are
+  // host nanoseconds; owner ids are dense thread ids, so the per-cluster
+  // handoff split is an approximation of the worker topology.  Call before
+  // traffic; `sites` must outlive the table's use.
+  void AttachLockProfiler(hprof::SiteTable* sites, const std::string& prefix = "table") {
+    const std::uint32_t per_cluster = runtime_->topology().cluster_size;
+    for (ClusterId c = 0; c < replicas_.size(); ++c) {
+      const std::string base = prefix + ".replica" + std::to_string(c);
+      replicas_[c]->table.coarse_lock().set_site(&sites->AddSite(base + ".coarse", per_cluster));
+      replicas_[c]->table.set_reserve_site(&sites->AddSite(base + ".reserve", per_cluster));
     }
   }
 

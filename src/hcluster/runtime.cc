@@ -21,9 +21,22 @@ ClusterRuntime::ClusterRuntime(const Topology& topology) : topology_(topology) {
 }
 
 ClusterRuntime::~ClusterRuntime() {
-  stop_.store(true, std::memory_order_release);
+  // Phase 1: drain.  Workers keep running (and keep servicing handler
+  // inboxes) until every posted item -- including items posted by items we
+  // are waiting for -- has completed.  Reading completed before posted makes
+  // equality sufficient: a late post bumps posted first and breaks it.
+  while (true) {
+    const std::uint64_t completed = work_completed_.load(std::memory_order_acquire);
+    const std::uint64_t posted = work_posted_.load(std::memory_order_acquire);
+    if (posted == completed) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // Phase 2: all quiet -- nothing can create new work.  Release the threads.
+  exit_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
-    worker->wake_cv.notify_all();
+    Wake(*worker);
   }
   for (auto& worker : workers_) {
     worker->thread.join();
@@ -32,26 +45,45 @@ ClusterRuntime::~ClusterRuntime() {
 
 WorkerId ClusterRuntime::current_worker() const { return tls_worker_id; }
 
+void ClusterRuntime::Wake(Worker& worker) {
+  {
+    std::lock_guard<std::mutex> guard(worker.wake_mutex);
+    ++worker.wake_seq;
+  }
+  worker.wake_cv.notify_one();
+}
+
 void ClusterRuntime::Post(WorkerId w, std::function<void()> fn) {
   Worker& worker = *workers_[w];
+  work_posted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> guard(worker.task_mutex);
     worker.tasks.push_back(std::move(fn));
   }
-  worker.posted.fetch_add(1, std::memory_order_relaxed);
-  worker.wake_cv.notify_one();
+  Wake(worker);
 }
 
 void ClusterRuntime::PostHandler(WorkerId w, std::function<void()> fn) {
   Worker& worker = *workers_[w];
-  worker.gate.Post(std::move(fn));
-  worker.wake_cv.notify_one();
+  work_posted_.fetch_add(1, std::memory_order_relaxed);
+  worker.gate.Post([this, fn = std::move(fn)] {
+    fn();
+    work_completed_.fetch_add(1, std::memory_order_release);
+  });
+  Wake(worker);
 }
 
 void ClusterRuntime::WorkerLoop(WorkerId id) {
   tls_worker_id = id;
   Worker& worker = *workers_[id];
-  while (!stop_.load(std::memory_order_acquire)) {
+  while (!exit_.load(std::memory_order_acquire)) {
+    // Snapshot the eventcount BEFORE scanning for work: a post that lands
+    // after this point bumps the sequence, so the sleep below falls through.
+    std::uint64_t seen;
+    {
+      std::lock_guard<std::mutex> guard(worker.wake_mutex);
+      seen = worker.wake_seq;
+    }
     // Handlers first (they are what remote callers are blocked on), then one
     // process task.
     worker.gate.Poll();
@@ -65,13 +97,19 @@ void ClusterRuntime::WorkerLoop(WorkerId id) {
     }
     if (task) {
       task();
-      worker.completed.fetch_add(1, std::memory_order_relaxed);
+      work_completed_.fetch_add(1, std::memory_order_release);
       continue;
     }
-    // Idle: sleep briefly; posts wake us.
+    // Idle: sleep until the eventcount moves (or exit).  The timeout is a
+    // belt-and-braces bound, not the wakeup mechanism.
     std::unique_lock<std::mutex> lock(worker.wake_mutex);
-    worker.wake_cv.wait_for(lock, std::chrono::milliseconds(1));
+    if (worker.wake_seq == seen && !exit_.load(std::memory_order_acquire)) {
+      worker.wake_cv.wait_for(lock, std::chrono::milliseconds(10),
+                              [&] { return worker.wake_seq != seen; });
+    }
   }
+  // Exit implies the destructor saw posted == completed, so both queues are
+  // empty; nothing to hand off.
 }
 
 void ClusterRuntime::ServiceWhileWaiting(std::atomic<bool>* done) {
@@ -98,13 +136,41 @@ void ClusterRuntime::ServiceInbox() {
   }
 }
 
+std::uint64_t ClusterRuntime::WakeEpoch() const {
+  const WorkerId self = tls_worker_id;
+  if (self == kNotAWorker) {
+    return 0;
+  }
+  Worker& worker = *workers_[self];
+  std::lock_guard<std::mutex> guard(worker.wake_mutex);
+  return worker.wake_seq;
+}
+
+void ClusterRuntime::WaitForWork(std::uint64_t epoch, std::chrono::nanoseconds max_wait) {
+  const WorkerId self = tls_worker_id;
+  if (self == kNotAWorker) {
+    std::this_thread::yield();
+    return;
+  }
+  Worker& worker = *workers_[self];
+  std::unique_lock<std::mutex> lock(worker.wake_mutex);
+  if (worker.wake_seq != epoch) {
+    return;
+  }
+  worker.wake_cv.wait_for(lock, max_wait, [&] { return worker.wake_seq != epoch; });
+}
+
+void ClusterRuntime::Kick(WorkerId w) { Wake(*workers_[w]); }
+
 void ClusterRuntime::Quiesce() {
   assert(tls_worker_id == kNotAWorker && "Quiesce must be called from outside the runtime");
-  for (auto& worker : workers_) {
-    while (worker->completed.load(std::memory_order_acquire) <
-           worker->posted.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+  while (true) {
+    const std::uint64_t completed = work_completed_.load(std::memory_order_acquire);
+    const std::uint64_t posted = work_posted_.load(std::memory_order_acquire);
+    if (posted == completed) {
+      return;
     }
+    std::this_thread::yield();
   }
 }
 

@@ -16,6 +16,7 @@
 #define HCLUSTER_RUNTIME_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,15 @@ namespace hcluster {
 class ClusterRuntime {
  public:
   explicit ClusterRuntime(const Topology& topology);
+
+  // Destruction is a drain, not an abandonment: every task and handler posted
+  // before (or transitively by work posted before) the destructor runs to
+  // completion first, workers keep servicing their inboxes throughout, and
+  // only then do the threads exit and join.  Joining eagerly instead is the
+  // classic shutdown deadlock: worker A blocked in Call(B) needs B to poll
+  // its inbox, but B saw the stop flag and exited -- A never completes and
+  // join(A) hangs.  Posting from outside the runtime once the destructor has
+  // begun is a caller bug (in-flight workers may still post freely).
   ~ClusterRuntime();
   ClusterRuntime(const ClusterRuntime&) = delete;
   ClusterRuntime& operator=(const ClusterRuntime&) = delete;
@@ -93,7 +103,23 @@ class ClusterRuntime {
   // deadlock.  No-op from a non-worker thread.
   void ServiceInbox();
 
-  // Blocks until all posted work so far has been executed (best effort).
+  // Idle support for long-running processes (e.g. a service shard pump) that
+  // run their own polling loop on a worker.  Usage is an eventcount: snapshot
+  // WakeEpoch(), poll your queues (and ServiceInbox()), and if nothing was
+  // found call WaitForWork(epoch, ...) -- any Post/PostHandler to this worker
+  // or Kick() of it after the snapshot advances the epoch, so the sleep
+  // either falls through or is woken; a wakeup cannot be lost.  From a
+  // non-worker thread WakeEpoch returns 0 and WaitForWork yields once.
+  std::uint64_t WakeEpoch() const;
+  void WaitForWork(std::uint64_t epoch, std::chrono::nanoseconds max_wait);
+
+  // Wakes worker `w` if it is sleeping (idle loop or WaitForWork).  External
+  // producers (service submit paths) call this after handing the worker's
+  // process new work through a side channel the runtime cannot see.
+  void Kick(WorkerId w);
+
+  // Blocks until every posted task and handler (including work posted by
+  // that work) has executed.  Call from outside the runtime only.
   void Quiesce();
 
  private:
@@ -101,19 +127,29 @@ class ClusterRuntime {
     hlock::SoftIrqGate gate;  // handler (RPC) inbox
     std::mutex task_mutex;    // process queue
     std::vector<std::function<void()>> tasks;
+    // Eventcount: producers bump wake_seq under wake_mutex before notifying,
+    // the worker snapshots it before scanning its queues and sleeps only if
+    // it is unchanged -- a post landing between scan and sleep always changes
+    // the sequence, so the wakeup cannot be lost.
     std::mutex wake_mutex;
     std::condition_variable wake_cv;
+    std::uint64_t wake_seq = 0;  // guarded by wake_mutex
     std::thread thread;
-    std::atomic<std::uint64_t> posted{0};
-    std::atomic<std::uint64_t> completed{0};
   };
 
   void WorkerLoop(WorkerId id);
   void ServiceWhileWaiting(std::atomic<bool>* done);
+  void Wake(Worker& worker);
 
   Topology topology_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::atomic<bool> stop_{false};
+  // Conservation counters over *all* work (tasks and handlers): posted is
+  // bumped before an item is enqueued, completed after it ran, so
+  // posted == completed (completed read first) proves nothing is queued or
+  // mid-execution anywhere -- the destructor's drain condition.
+  std::atomic<std::uint64_t> work_posted_{0};
+  std::atomic<std::uint64_t> work_completed_{0};
+  std::atomic<bool> exit_{false};
 };
 
 }  // namespace hcluster

@@ -1,0 +1,193 @@
+#include "src/hload/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hload {
+
+void RunnerResult::Merge(const RunnerResult& other) {
+  planned += other.planned;
+  issued += other.issued;
+  ok += other.ok;
+  notfound += other.notfound;
+  expired += other.expired;
+  rejected_submits += other.rejected_submits;
+  rejected_final += other.rejected_final;
+  abandoned += other.abandoned;
+  pool_exhausted += other.pool_exhausted;
+  retries += other.retries;
+  window_ns = std::max(window_ns, other.window_ns);
+  latency.Merge(other.latency);
+}
+
+RunnerResult LoadRunner::Run() {
+  const std::uint32_t clusters = config_.workload.num_clusters;
+  std::vector<RunnerResult> partials(clusters);
+  std::vector<std::thread> generators;
+  generators.reserve(clusters);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    generators.emplace_back([this, c, &partials] { partials[c] = RunGenerator(c); });
+  }
+  RunnerResult merged;
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    generators[c].join();
+    merged.Merge(partials[c]);
+  }
+  return merged;
+}
+
+RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
+  using hsvc::Request;
+  using hsvc::Service;
+
+  RunnerResult result;
+  const std::vector<PlannedOp> plan =
+      PlanOps(config_.workload, cluster, config_.ops_per_cluster, config_.rate_per_cluster);
+  result.planned = plan.size();
+
+  // Jitter stream, deliberately distinct from the plan stream: retry timing
+  // depends on service behavior and must not perturb the plan.
+  hsim::Rng jitter(config_.workload.seed * 0xD6E8FEB86659FD93ull + cluster + 1);
+
+  std::vector<Request> pool(config_.pool_size);
+  hlock::LockFreeFreeList completed;
+  std::vector<Request*> free_nodes;
+  free_nodes.reserve(pool.size());
+  for (Request& req : pool) {
+    req.completion = &completed;
+    free_nodes.push_back(&req);
+  }
+  std::uint64_t in_flight = 0;
+
+  const auto harvest = [&] {
+    while (hlock::LockFreeNode* node = completed.Pop()) {
+      Request* req = Request::FromFreeLink(node);
+      --in_flight;
+      switch (req->status) {
+        case hsvc::Status::kOk:
+          ++result.ok;
+          break;
+        case hsvc::Status::kNotFound:
+          ++result.notfound;
+          break;
+        case hsvc::Status::kExpired:
+          ++result.expired;
+          break;
+        case hsvc::Status::kPending:
+          break;  // unreachable: completions always carry a terminal status
+      }
+      result.latency.Record(req->done_ns > req->scheduled_ns
+                                ? req->done_ns - req->scheduled_ns
+                                : 0);
+      free_nodes.push_back(req);
+    }
+  };
+
+  struct PendingRetry {
+    std::uint64_t due_ns;
+    Request* req;
+    bool operator>(const PendingRetry& other) const { return due_ns > other.due_ns; }
+  };
+  std::priority_queue<PendingRetry, std::vector<PendingRetry>, std::greater<PendingRetry>>
+      retry_heap;
+
+  // Submits, and on rejection either schedules a jittered-backoff retry or
+  // gives up.  The backoff base is the service's own hint, doubled per
+  // attempt, scaled by a uniform [0.5, 1.5) jitter -- Section 2.3's
+  // optimistic-retry client, with the hint standing in for the fixed base.
+  const auto submit = [&](Request* req) {
+    const hsvc::AdmitResult admit = service_->Submit(req, cluster);
+    if (admit.admitted) {
+      ++in_flight;
+      return;
+    }
+    ++result.rejected_submits;
+    if (req->retries >= config_.max_retries) {
+      ++result.rejected_final;
+      result.latency.RecordAsOf(req->scheduled_ns, Service::NowNs());
+      free_nodes.push_back(req);
+      return;
+    }
+    const std::uint64_t backoff_ns = static_cast<std::uint64_t>(admit.retry_after_us) *
+                                     1000ull << req->retries;
+    const double scale =
+        0.5 + static_cast<double>(jitter.Next() >> 11) * (1.0 / 9007199254740992.0);
+    ++req->retries;
+    retry_heap.push(PendingRetry{
+        Service::NowNs() + static_cast<std::uint64_t>(static_cast<double>(backoff_ns) * scale),
+        req});
+  };
+
+  const auto fire_due_retries = [&](std::uint64_t now) {
+    while (!retry_heap.empty() && retry_heap.top().due_ns <= now) {
+      Request* req = retry_heap.top().req;
+      retry_heap.pop();
+      ++result.retries;
+      submit(req);
+    }
+  };
+
+  const std::uint64_t start_ns = Service::NowNs();
+  for (const PlannedOp& op : plan) {
+    const std::uint64_t sched = start_ns + op.at_ns;
+    // Open loop: hold the line until this op's scheduled instant, harvesting
+    // completions and firing due retries while we wait.
+    while (true) {
+      harvest();
+      const std::uint64_t now = Service::NowNs();
+      fire_due_retries(now);
+      if (now >= sched) {
+        break;
+      }
+      std::uint64_t next = sched;
+      if (!retry_heap.empty()) {
+        next = std::min(next, retry_heap.top().due_ns);
+      }
+      const std::uint64_t nap = next > now ? next - now : 0;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(std::min<std::uint64_t>(nap, 100000)));
+    }
+    if (free_nodes.empty()) {
+      // The pool is the offered-load guarantee: without a free node we are
+      // not an open-loop generator any more.  Count it loudly.
+      ++result.pool_exhausted;
+      result.latency.RecordAsOf(sched, Service::NowNs());
+      continue;
+    }
+    Request* req = free_nodes.back();
+    free_nodes.pop_back();
+    req->kind = op.is_write ? hsvc::OpKind::kPut : hsvc::OpKind::kGet;
+    req->key = op.key;
+    req->value_in = op.at_ns;  // any deterministic payload
+    req->scheduled_ns = sched;
+    req->deadline_ns = config_.deadline_ns == 0 ? 0 : sched + config_.deadline_ns;
+    req->retries = 0;
+    ++result.issued;
+    submit(req);
+  }
+  const std::uint64_t close_ns = Service::NowNs();
+  result.window_ns = close_ns - start_ns;
+
+  // Window closed: abandon pending retries (their ops failed to get in
+  // before the deadline of our interest) and harvest until every admitted
+  // request has come back -- the service completes all of them, so this
+  // terminates.
+  while (!retry_heap.empty()) {
+    Request* req = retry_heap.top().req;
+    retry_heap.pop();
+    ++result.abandoned;
+    result.latency.RecordAsOf(req->scheduled_ns, close_ns);
+    free_nodes.push_back(req);
+  }
+  while (in_flight > 0) {
+    harvest();
+    if (in_flight > 0) {
+      std::this_thread::yield();
+    }
+  }
+  return result;
+}
+
+}  // namespace hload

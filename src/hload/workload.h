@@ -1,0 +1,134 @@
+// Deterministic workload planning for the hsvc load generator.
+//
+// A workload is *planned* before it is *executed*: for a given seed the
+// plan -- every key, every read/write choice, every Poisson arrival gap --
+// is a pure function of the config, independent of how fast the service or
+// the host happens to run.  Execution-time randomness (retry jitter) draws
+// from a separate stream, so two runs with the same seed offer byte-identical
+// op sequences even when admission control rejects different subsets.  That
+// is what makes A/B comparisons across cluster counts meaningful.
+//
+// Key population: `keys_per_cluster` keys homed at each cluster.  The
+// clustered table homes integer keys by `key % num_clusters` (std::hash is
+// the identity for integers), so the key with per-cluster rank r homed at
+// cluster c is simply r * num_clusters + c.  Rank selection is uniform or
+// zipfian (Gray et al.'s incremental method, the YCSB default with
+// theta = 0.99); cluster selection follows `local_fraction`: that fraction
+// of ops target the issuing client's own cluster, the rest pick a cluster
+// uniformly -- the locality knob that decides how often the service's
+// cross-cluster paths (replication fetch, write broadcast) are exercised.
+
+#ifndef HLOAD_WORKLOAD_H_
+#define HLOAD_WORKLOAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/hsim/random.h"
+
+namespace hload {
+
+// Draws ranks in [0, n) with the zipfian skew used by YCSB: rank k is chosen
+// with probability proportional to 1 / (k+1)^theta.  Deterministic given the
+// caller's Rng.
+class ZipfianRanks {
+ public:
+  ZipfianRanks(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta), zeta_n_(Zeta(n, theta)), zeta2_(Zeta(2, theta)) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  std::uint64_t Next(hsim::Rng* rng) const {
+    // Uniform double in [0,1) from the top 53 bits.
+    const double u = static_cast<double>(rng->Next() >> 11) * (1.0 / 9007199254740992.0);
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+enum class KeyDist : std::uint8_t { kUniform, kZipfian };
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t num_clusters = 2;
+  std::uint64_t keys_per_cluster = 64;
+  double read_fraction = 0.9;
+  double local_fraction = 0.8;  // ops homed at the issuer's own cluster
+  KeyDist key_dist = KeyDist::kZipfian;
+  double zipf_theta = 0.99;
+};
+
+struct PlannedOp {
+  std::uint64_t at_ns = 0;  // offset from the window start (open-loop clock)
+  std::uint64_t key = 0;
+  bool is_write = false;
+};
+
+// Plans `count` ops for the generator attached to `cluster`, Poisson arrivals
+// at `rate_per_s`.  Same (config, cluster, count, rate) -> same plan, always.
+inline std::vector<PlannedOp> PlanOps(const WorkloadConfig& config, std::uint32_t cluster,
+                                      std::size_t count, double rate_per_s) {
+  // Per-generator stream: mix the cluster id into the seed (splitmix-style)
+  // so generators are decorrelated but individually reproducible.
+  hsim::Rng rng(config.seed * 0x9E3779B97F4A7C15ull + (cluster + 1) * 0xBF58476D1CE4E5B9ull);
+  const ZipfianRanks zipf(config.keys_per_cluster, config.zipf_theta);
+  const double mean_gap_ns = 1e9 / rate_per_s;
+
+  std::vector<PlannedOp> plan;
+  plan.reserve(count);
+  std::uint64_t clock_ns = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    PlannedOp op;
+    // Exponential inter-arrival gap (open-loop Poisson process).
+    const double u =
+        (static_cast<double>(rng.Next() >> 11) + 1.0) * (1.0 / 9007199254740992.0);
+    clock_ns += static_cast<std::uint64_t>(-std::log(u) * mean_gap_ns);
+    op.at_ns = clock_ns;
+
+    const std::uint32_t target_cluster =
+        static_cast<double>(rng.Next() >> 11) * (1.0 / 9007199254740992.0) <
+                config.local_fraction
+            ? cluster
+            : static_cast<std::uint32_t>(rng.NextBelow(config.num_clusters));
+    const std::uint64_t rank = config.key_dist == KeyDist::kZipfian
+                                   ? zipf.Next(&rng)
+                                   : rng.NextBelow(config.keys_per_cluster);
+    op.key = rank * config.num_clusters + target_cluster;
+    op.is_write =
+        static_cast<double>(rng.Next() >> 11) * (1.0 / 9007199254740992.0) >=
+        config.read_fraction;
+    plan.push_back(op);
+  }
+  return plan;
+}
+
+}  // namespace hload
+
+#endif  // HLOAD_WORKLOAD_H_

@@ -104,6 +104,10 @@ class BasicSoftIrqGate {
     return high_water_.load(std::memory_order_relaxed);
   }
 
+  // Items posted but not yet executed.  Any-thread readable; exact once
+  // producers have quiesced (shutdown drain loops poll it).
+  std::uint64_t pending() const { return pending_.load(std::memory_order_acquire); }
+
  private:
   struct WorkItem {
     std::function<void()> work;

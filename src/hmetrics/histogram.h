@@ -51,6 +51,30 @@ class LatencyHistogram {
     sorted_valid_ = false;
   }
 
+  // Bulk-records `n` samples of value `v` in O(1) streaming work plus one
+  // vector append for the retained copies.  Identical in outcome to calling
+  // Record(v) n times: exact count/sum/min/max, retention up to the cap,
+  // overflow counted in samples_dropped().  This is the path coordinated-
+  // omission backfill and bucketed per-thread recorders use -- thousands of
+  // synthetic samples per flush must not pay the per-sample cap bookkeeping.
+  void RecordN(Sample v, std::uint64_t n) {
+    if (n == 0) {
+      return;
+    }
+    count_ += n;
+    sum_ += v * n;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    const std::size_t room =
+        samples_.size() < sample_cap_ ? sample_cap_ - samples_.size() : 0;
+    const std::uint64_t take = std::min<std::uint64_t>(room, n);
+    if (take > 0) {
+      samples_.insert(samples_.end(), static_cast<std::size_t>(take), v);
+      sorted_valid_ = false;
+    }
+    dropped_ += n - take;
+  }
+
   // Folds `other`'s samples into this histogram (shard aggregation).  This
   // histogram's own cap governs how many of the merged samples are retained.
   void Merge(const LatencyHistogram& other) {

@@ -1,0 +1,110 @@
+// Bounded intrusive MPSC queue -- the request inbox of one shard pump.
+//
+// The algorithm is the same Vyukov intrusive MPSC list the SoftIrqGate uses
+// (producers exchange the head, the single consumer chases next pointers
+// through a stub node), plus an admission counter that makes it *bounded*:
+// TryPush reserves a slot with a fetch_add and backs out when the bound is
+// exceeded, so under overload producers learn "full" in two uncontended
+// atomic ops instead of growing an unbounded backlog -- admission control
+// rejects at the door, which is what keeps service latency bounded when
+// offered load exceeds capacity (the queueing-collapse alternative is the
+// whole reason hsvc exists).
+//
+// Nodes are caller-owned (type-stable request pools, the footnote-2
+// discipline): the queue never allocates or frees.  T must expose a
+// `std::atomic<T*> mpsc_next` member and be default-constructible (one
+// private T serves as the stub; it is never handed out).
+//
+// Producer-side state (head_, depth_) lives on its own cache lines via
+// hlock::Padded so a busy submit path does not ping-pong the consumer's
+// tail cursor.
+
+#ifndef HSVC_REQUEST_QUEUE_H_
+#define HSVC_REQUEST_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "src/hlock/padded.h"
+
+namespace hsvc {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t bound) : bound_(bound) {
+    head_->store(&stub_, std::memory_order_relaxed);
+    tail_ = &stub_;
+  }
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  // Any-thread.  Returns false (and leaves `item` untouched beyond its
+  // mpsc_next) when the queue already holds `bound` items.
+  bool TryPush(T* item) {
+    const std::size_t depth = depth_->fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (depth > bound_) {
+      depth_->fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    item->mpsc_next.store(nullptr, std::memory_order_relaxed);
+    T* prev = head_->exchange(item, std::memory_order_acq_rel);
+    prev->mpsc_next.store(item, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer only.  Returns nullptr when empty -- or, rarely, when a producer
+  // is mid-push; the item becomes visible at the next call, so pumps treat
+  // nullptr as "nothing right now", never as a fence.
+  T* Pop() {
+    T* tail = tail_;
+    T* next = tail->mpsc_next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        return nullptr;
+      }
+      tail_ = next;
+      tail = next;
+      next = next->mpsc_next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      return Take(tail, next);
+    }
+    T* head = head_->load(std::memory_order_acquire);
+    if (tail != head) {
+      return nullptr;  // producer mid-push; its item will be visible shortly
+    }
+    // `tail` is the last element: re-insert the stub behind it so the list is
+    // never empty, then detach.
+    stub_.mpsc_next.store(nullptr, std::memory_order_relaxed);
+    T* prev = head_->exchange(&stub_, std::memory_order_acq_rel);
+    prev->mpsc_next.store(&stub_, std::memory_order_release);
+    next = tail->mpsc_next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      return Take(tail, next);
+    }
+    return nullptr;
+  }
+
+  // Occupancy as the admission counter sees it (includes items a producer is
+  // still linking in).  Any-thread; advisory.
+  std::size_t depth() const { return depth_->load(std::memory_order_relaxed); }
+  std::size_t bound() const { return bound_; }
+
+ private:
+  T* Take(T* item, T* next) {
+    tail_ = next;
+    depth_->fetch_sub(1, std::memory_order_relaxed);
+    return item;
+  }
+
+  const std::size_t bound_;
+  hlock::Padded<std::atomic<T*>> head_;           // producers
+  hlock::Padded<std::atomic<std::size_t>> depth_{0};  // producers + consumer
+  alignas(hlock::kCacheLineSize) T* tail_;        // consumer only
+  T stub_;
+};
+
+}  // namespace hsvc
+
+#endif  // HSVC_REQUEST_QUEUE_H_

@@ -131,5 +131,94 @@ TEST(ClusteredTable, WritersAndReadersConverge) {
   RunOn(rt, 2, [&] { EXPECT_EQ(table.Get(9), 20); });
 }
 
+TEST(ClusteredTable, DropLocalEvictsReplicaButNotHomeCopy) {
+  ClusterRuntime rt(Topology{4, 2});
+  ClusteredTable<int, int> table(&rt);
+  table.Put(3, 30);
+  const ClusterId home = table.home_cluster(3);
+  const ClusterId other = (home + 1) % rt.topology().num_clusters();
+  RunOn(rt, other * 2, [&] {
+    EXPECT_EQ(table.Get(3), 30);
+    EXPECT_TRUE(table.DropLocal(3));   // evicts the local replica
+    EXPECT_FALSE(table.DropLocal(3));  // already gone
+    EXPECT_EQ(table.Get(3), 30);       // re-replicates from home
+  });
+  RunOn(rt, home * 2, [&] {
+    EXPECT_FALSE(table.DropLocal(3));  // the home copy is authoritative
+    EXPECT_EQ(table.Get(3), 30);
+  });
+  EXPECT_EQ(table.replications(), 2u);
+}
+
+TEST(ClusteredTable, WriteBroadcastUnderConcurrentReaderReservations) {
+  // The Section 2.5 pessimistic path under real multi-cluster pressure:
+  // writers broadcast new values while one reader per cluster continuously
+  // replicates (exclusive shell + home reader reservation) and evicts, so
+  // broadcasts keep colliding with reservations on every replica and must
+  // retry.  Single writer per key, so per-reader observations of a key must
+  // be monotone and the final value must win everywhere.
+  ClusterRuntime rt(Topology{8, 2});
+  const std::uint32_t n_clusters = rt.topology().num_clusters();
+  ClusteredTable<int, int> table(&rt);
+  constexpr int kKeys = 6;
+  constexpr int kWrites = 60;
+  for (int k = 0; k < kKeys; ++k) {
+    table.Put(k, 0);
+  }
+  // Replicate everywhere so the first broadcasts fan out to all clusters.
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    RunOn(rt, c * 2, [&] {
+      for (int k = 0; k < kKeys; ++k) {
+        ASSERT_TRUE(table.Get(k).has_value());
+      }
+    });
+  }
+
+  std::atomic<int> done{0};
+  std::atomic<bool> bad{false};
+  // Two writers on different clusters own disjoint keys (even/odd).
+  for (int wr = 0; wr < 2; ++wr) {
+    rt.Post(static_cast<WorkerId>(wr * 2), [&table, &done, wr] {
+      for (int i = 1; i <= kWrites; ++i) {
+        for (int k = wr; k < kKeys; k += 2) {
+          table.Put(k, i);
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  // One reader per cluster keeps every replica churning through
+  // reserve/fetch/evict cycles while the broadcasts land.
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    rt.Post(c * 2 + 1, [&table, &done, &bad] {
+      int last[kKeys] = {};
+      for (int round = 0; round < 40; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          auto v = table.Get(k);
+          if (!v.has_value() || *v < last[k] || *v > kWrites) {
+            bad = true;
+          } else {
+            last[k] = *v;
+          }
+          table.DropLocal(k);
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() != 2 + static_cast<int>(n_clusters)) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(bad.load());
+  // Convergence: every cluster sees the final value of every key locally.
+  for (ClusterId c = 0; c < n_clusters; ++c) {
+    RunOn(rt, c * 2, [&] {
+      for (int k = 0; k < kKeys; ++k) {
+        EXPECT_EQ(table.Get(k), kWrites) << "key " << k << " on cluster " << c;
+      }
+    });
+  }
+}
+
 }  // namespace
 }  // namespace hcluster

@@ -117,6 +117,45 @@ TEST(ClusterRuntime, QuiesceWaitsForPostedTasks) {
   EXPECT_EQ(ran.load(), 20);
 }
 
+TEST(ClusterRuntime, DestroyWithCallsInFlightDrainsEverything) {
+  // Destroying the runtime while worker processes are blocked in cross-worker
+  // Calls must complete every call, not deadlock or drop queued tasks.  The
+  // pre-drain destructor hung here: worker A waited in Call for worker B's
+  // reply while B, having observed the stop flag, had already exited without
+  // polling its inbox -- so join(A) never returned.
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 32;
+  {
+    ClusterRuntime rt(Topology{4, 2});
+    for (int i = 0; i < kTasks; ++i) {
+      rt.Post(static_cast<WorkerId>(i % 4), [&rt, &ran, i] {
+        const int r = rt.Call(static_cast<WorkerId>((i + 1) % 4), [i] { return i; });
+        EXPECT_EQ(r, i);
+        ran.fetch_add(1);
+      });
+    }
+    // Destroy immediately: most of the calls are still queued or in flight.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ClusterRuntime, DestroyRunsWorkPostedByDrainingWork) {
+  // Work posted *by* work that the destructor is draining is itself part of
+  // the drain (the conservation counters chase the transitive closure).
+  std::atomic<int> ran{0};
+  {
+    ClusterRuntime rt(Topology{2, 1});
+    rt.Post(0, [&rt, &ran] {
+      rt.Post(1, [&rt, &ran] {
+        rt.PostHandler(0, [&ran] { ran.fetch_add(1); });
+        ran.fetch_add(1);
+      });
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(ran.load(), 3);
+}
+
 TEST(ReplicatedCounter, LocalAndTotal) {
   Topology t{8, 4};
   ReplicatedCounter counter(t);

@@ -1,0 +1,110 @@
+#include "src/hload/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace hload {
+namespace {
+
+TEST(LatencyRecorder, EmptyRecorder) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.sum_ns(), 0u);
+  EXPECT_EQ(r.min_ns(), 0u);
+  EXPECT_EQ(r.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean_ns(), 0.0);
+  EXPECT_EQ(r.PercentileNs(99), 0u);
+}
+
+TEST(LatencyRecorder, SmallValuesAreExact) {
+  LatencyRecorder r;
+  for (std::uint64_t v : {0, 1, 5, 31}) {
+    r.Record(v);
+  }
+  EXPECT_EQ(r.count(), 4u);
+  EXPECT_EQ(r.min_ns(), 0u);
+  EXPECT_EQ(r.max_ns(), 31u);
+  EXPECT_EQ(r.PercentileNs(0), 0u);
+  EXPECT_EQ(r.PercentileNs(100), 31u);  // [0,32) buckets are exact
+}
+
+TEST(LatencyRecorder, PercentilesWithinBucketError) {
+  // 1..1000000 ns uniformly: percentile p should land near p% of the range
+  // within the 1/32 relative bucket error (plus the uniform-grid error).
+  LatencyRecorder r;
+  for (std::uint64_t v = 1; v <= 1000000; ++v) {
+    r.Record(v);
+  }
+  EXPECT_EQ(r.count(), 1000000u);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double expected = p / 100.0 * 1000000.0;
+    const double got = static_cast<double>(r.PercentileNs(p));
+    EXPECT_NEAR(got, expected, expected * 0.05) << "p=" << p;
+  }
+  EXPECT_EQ(r.sum_ns(), 1000000ull * 1000001ull / 2);
+}
+
+TEST(LatencyRecorder, RecordAsOfBackfillsElapsedLowerBound) {
+  LatencyRecorder r;
+  r.RecordAsOf(1000, 5000);  // scheduled at 1000, window closed at 5000
+  r.RecordAsOf(7000, 5000);  // scheduled after close: clamps to zero
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_EQ(r.min_ns(), 0u);
+  // 4000 lands in a bucket whose representative is within 1/32.
+  EXPECT_NEAR(static_cast<double>(r.max_ns()), 4000.0, 4000.0 / 16);
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedRecording) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder all;
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    ((v % 2 == 0) ? a : b).Record(v * 17 % 90001);
+    all.Record(v * 17 % 90001);
+  }
+  LatencyRecorder merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.sum_ns(), all.sum_ns());
+  EXPECT_EQ(merged.min_ns(), all.min_ns());
+  EXPECT_EQ(merged.max_ns(), all.max_ns());
+  for (double p : {1.0, 50.0, 99.0, 99.9}) {
+    EXPECT_EQ(merged.PercentileNs(p), all.PercentileNs(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyRecorder, AddToFlowsBucketsIntoHmetricsViaRecordN) {
+  LatencyRecorder r;
+  // Three well-separated populations: 100 @ ~50us, 10 @ ~2ms, 1 @ ~40ms.
+  for (int i = 0; i < 100; ++i) {
+    r.Record(50'000);
+  }
+  for (int i = 0; i < 10; ++i) {
+    r.Record(2'000'000);
+  }
+  r.Record(40'000'000);
+
+  hmetrics::LatencyHistogram h;
+  r.AddTo(&h, 1000);  // ns -> us
+  EXPECT_EQ(h.count(), 111u);
+  // Bucket representatives divided down to us, within bucket error.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 50.0, 50.0 / 16);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 2000.0, 2000.0 / 16);
+  EXPECT_NEAR(static_cast<double>(h.max()), 40000.0, 40000.0 / 16);
+  // The merge-of-buckets preserves totals to within the representative error.
+  EXPECT_NEAR(h.mean(), r.mean_ns() / 1000.0, r.mean_ns() / 1000.0 * 0.05);
+}
+
+TEST(LatencyRecorder, HugeValuesDoNotOverflowIndexing) {
+  LatencyRecorder r;
+  r.Record(~std::uint64_t{0});
+  r.Record(std::uint64_t{1} << 62);
+  EXPECT_EQ(r.count(), 2u);
+  EXPECT_EQ(r.max_ns(), ~std::uint64_t{0});
+  EXPECT_GT(r.PercentileNs(100), std::uint64_t{1} << 61);
+}
+
+}  // namespace
+}  // namespace hload

@@ -1,0 +1,140 @@
+#include "src/hload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hload {
+namespace {
+
+WorkloadConfig BaseConfig() {
+  WorkloadConfig config;
+  config.seed = 42;
+  config.num_clusters = 4;
+  config.keys_per_cluster = 128;
+  config.read_fraction = 0.9;
+  config.local_fraction = 0.8;
+  return config;
+}
+
+TEST(Workload, SameSeedSamePlan) {
+  const WorkloadConfig config = BaseConfig();
+  const auto a = PlanOps(config, 1, 5000, 1000);
+  const auto b = PlanOps(config, 1, 5000, 1000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_ns, b[i].at_ns);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+TEST(Workload, DifferentSeedOrClusterDiverges) {
+  WorkloadConfig config = BaseConfig();
+  const auto base = PlanOps(config, 1, 100, 1000);
+  const auto other_cluster = PlanOps(config, 2, 100, 1000);
+  config.seed = 43;
+  const auto other_seed = PlanOps(config, 1, 100, 1000);
+  int same_cluster = 0;
+  int same_seed = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    same_cluster += base[i].key == other_cluster[i].key;
+    same_seed += base[i].key == other_seed[i].key;
+  }
+  EXPECT_LT(same_cluster, 100);
+  EXPECT_LT(same_seed, 100);
+}
+
+TEST(Workload, PoissonGapsAverageToConfiguredRate) {
+  const WorkloadConfig config = BaseConfig();
+  constexpr std::size_t kOps = 20000;
+  constexpr double kRate = 5000;  // 200us mean gap
+  const auto plan = PlanOps(config, 0, kOps, kRate);
+  const double span_s = static_cast<double>(plan.back().at_ns) * 1e-9;
+  const double achieved = static_cast<double>(kOps) / span_s;
+  EXPECT_NEAR(achieved, kRate, kRate * 0.05);
+  // Arrival times are nondecreasing (an open-loop schedule).
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    ASSERT_GE(plan[i].at_ns, plan[i - 1].at_ns);
+  }
+}
+
+TEST(Workload, ReadWriteMixMatchesFraction) {
+  const WorkloadConfig config = BaseConfig();
+  const auto plan = PlanOps(config, 0, 20000, 1000);
+  std::size_t writes = 0;
+  for (const auto& op : plan) {
+    writes += op.is_write;
+  }
+  const double write_fraction = static_cast<double>(writes) / plan.size();
+  EXPECT_NEAR(write_fraction, 1.0 - config.read_fraction, 0.02);
+}
+
+TEST(Workload, LocalFractionControlsHomeClusterShare) {
+  const WorkloadConfig config = BaseConfig();  // local_fraction = 0.8
+  const std::uint32_t cluster = 2;
+  const auto plan = PlanOps(config, cluster, 20000, 1000);
+  std::size_t local = 0;
+  for (const auto& op : plan) {
+    local += op.key % config.num_clusters == cluster;
+  }
+  // 0.8 directly local plus 1/4 of the remaining uniform 0.2.
+  const double expected = config.local_fraction +
+                          (1.0 - config.local_fraction) / config.num_clusters;
+  EXPECT_NEAR(static_cast<double>(local) / plan.size(), expected, 0.02);
+}
+
+TEST(Workload, KeysStayInTheConfiguredSpace) {
+  const WorkloadConfig config = BaseConfig();
+  const auto plan = PlanOps(config, 3, 5000, 1000);
+  const std::uint64_t key_limit = config.keys_per_cluster * config.num_clusters;
+  for (const auto& op : plan) {
+    ASSERT_LT(op.key, key_limit);
+  }
+}
+
+TEST(Workload, ZipfianSkewsUniformDoesNot) {
+  WorkloadConfig config = BaseConfig();
+  config.local_fraction = 1.0;  // one cluster's pool only: ranks comparable
+  config.key_dist = KeyDist::kZipfian;
+  const auto zipf_plan = PlanOps(config, 0, 20000, 1000);
+  config.key_dist = KeyDist::kUniform;
+  const auto uniform_plan = PlanOps(config, 0, 20000, 1000);
+
+  const auto top_share = [&](const std::vector<PlannedOp>& plan) {
+    std::map<std::uint64_t, std::size_t> freq;
+    for (const auto& op : plan) {
+      ++freq[op.key];
+    }
+    std::size_t top = 0;
+    for (const auto& [key, count] : freq) {
+      top = std::max(top, count);
+    }
+    return static_cast<double>(top) / plan.size();
+  };
+  // With 128 keys and theta=0.99, the hottest zipfian key draws >10% of
+  // traffic; uniform gives each key ~0.8%.
+  EXPECT_GT(top_share(zipf_plan), 0.08);
+  EXPECT_LT(top_share(uniform_plan), 0.03);
+}
+
+TEST(ZipfianRanks, StaysInRangeAndHitsRankZeroMost) {
+  hsim::Rng rng(7);
+  ZipfianRanks zipf(1000, 0.99);
+  std::vector<std::size_t> freq(1000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t rank = zipf.Next(&rng);
+    ASSERT_LT(rank, 1000u);
+    ++freq[rank];
+  }
+  // Rank 0 must be the mode, and clearly above the uniform share.
+  for (std::size_t r = 1; r < 1000; ++r) {
+    EXPECT_LE(freq[r], freq[0]);
+  }
+  EXPECT_GT(freq[0], 50000 / 1000 * 5);
+}
+
+}  // namespace
+}  // namespace hload

@@ -180,6 +180,45 @@ TEST(LatencyHistogram, ResetForgetsEverythingButKeepsCap) {
   EXPECT_EQ(h.samples_dropped(), 1u);  // and still applies
 }
 
+TEST(LatencyHistogram, RecordNMatchesRepeatedRecord) {
+  LatencyHistogram bulk;
+  LatencyHistogram loop;
+  bulk.RecordN(40, 3);
+  bulk.Record(7);
+  bulk.RecordN(100, 2);
+  bulk.RecordN(55, 0);  // no-op
+  for (int i = 0; i < 3; ++i) {
+    loop.Record(40);
+  }
+  loop.Record(7);
+  loop.Record(100);
+  loop.Record(100);
+  EXPECT_EQ(bulk.count(), loop.count());
+  EXPECT_EQ(bulk.sum(), loop.sum());
+  EXPECT_EQ(bulk.min(), loop.min());
+  EXPECT_EQ(bulk.max(), loop.max());
+  EXPECT_EQ(bulk.percentile(50), loop.percentile(50));
+  EXPECT_EQ(bulk.percentile(99), loop.percentile(99));
+  EXPECT_DOUBLE_EQ(bulk.fraction_above(40), loop.fraction_above(40));
+}
+
+TEST(LatencyHistogram, RecordNAcrossSampleCap) {
+  // A bulk record that crosses the retention cap keeps exact streaming stats,
+  // retains only up to the cap, and counts the overflow as dropped.
+  LatencyHistogram h;
+  h.set_sample_cap(4);
+  h.Record(1);
+  h.RecordN(10, 6);  // room for 3, drops 3
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 61u);
+  EXPECT_EQ(h.samples().size(), 4u);
+  EXPECT_EQ(h.samples_dropped(), 3u);
+  h.RecordN(99, 5);  // no room at all
+  EXPECT_EQ(h.count(), 12u);
+  EXPECT_EQ(h.samples_dropped(), 8u);
+  EXPECT_EQ(h.max(), 99u);
+}
+
 TEST(LatencyHistogram, StreamingStatsWithoutSort) {
   // mean/min/max/sum are streaming: correct even if percentile is never
   // called (no hidden dependency on the sorted cache).

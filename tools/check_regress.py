@@ -38,7 +38,7 @@ SKIP_BENCHES = {"native_lock_latency", "native_hybrid_table", "native_cluster"}
 
 # Sweep coordinates: must match exactly between baseline and results.
 COORD_KEYS = {"p", "cap_us", "hold_us", "cluster_size", "clusters", "procs",
-              "processors", "drop_pct", "dup_pct", "iters"}
+              "processors", "drop_pct", "dup_pct", "iters", "offered_rps"}
 
 ABS_TOL = 0.5        # absolute slack for generic metrics
 REL_TOL = 0.35       # relative slack for generic metrics
