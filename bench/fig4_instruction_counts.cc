@@ -18,6 +18,7 @@
 #include "src/hmetrics/bench_main.h"
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/spin_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/opstats.h"
@@ -25,22 +26,6 @@
 namespace {
 
 using hsim::LockKind;
-
-std::unique_ptr<hsim::SimLock> MakeLock(hsim::Machine* m, LockKind kind) {
-  switch (kind) {
-    case LockKind::kSpin35us:
-      return std::make_unique<hsim::SimSpinLock>(m, 0, hsim::UsToTicks(35));
-    case LockKind::kSpin2ms:
-      return std::make_unique<hsim::SimSpinLock>(m, 0, hsim::UsToTicks(2000));
-    case LockKind::kMcs:
-      return std::make_unique<hsim::SimMcsLock>(m, 0, hsim::McsVariant::kOriginal);
-    case LockKind::kMcsH1:
-      return std::make_unique<hsim::SimMcsLock>(m, 0, hsim::McsVariant::kH1);
-    case LockKind::kMcsH2:
-      return std::make_unique<hsim::SimMcsLock>(m, 0, hsim::McsVariant::kH2);
-  }
-  return nullptr;
-}
 
 hsim::Task<void> OnePair(hsim::Processor* p, hsim::SimLock* lock) {
   co_await lock->Acquire(*p);
@@ -50,7 +35,7 @@ hsim::Task<void> OnePair(hsim::Processor* p, hsim::SimLock* lock) {
 hsim::OpStats CountPair(LockKind kind) {
   hsim::Engine engine;
   hsim::Machine machine(&engine, hsim::MachineConfig{});
-  auto lock = MakeLock(&machine, kind);
+  auto lock = MakeSimLock(&machine, kind, 0);
   hsim::Processor& p = machine.processor(0);
   engine.Spawn(OnePair(&p, lock.get()));  // warm-up pair
   engine.RunUntilIdle();

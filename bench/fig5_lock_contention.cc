@@ -14,6 +14,11 @@
 //   - spin/35us-cap degrades far worse than the Distributed Locks at hold=0.
 //   - spin/2ms-cap is competitive on average, but starves: the paper saw
 //     >13% of acquisitions take over 2ms at p=16, hold=25us.
+//
+// Beyond the paper, the modern NUMA-aware locks (CNA, HMCS-T, Fissile) race
+// in the same panels, and a handoff-attribution section profiles every
+// queue-based lock at p=16: CNA and HMCS-T must show a materially higher
+// same-cluster handoff share than the FIFO MCS family.
 
 #include <cstdio>
 #include <string>
@@ -38,7 +43,17 @@ struct Series {
 const Series kSeries[] = {
     {"mcs", LockKind::kMcs},         {"h1-mcs", LockKind::kMcsH1},
     {"h2-mcs", LockKind::kMcsH2},    {"spin-35us", LockKind::kSpin35us},
-    {"spin-2ms", LockKind::kSpin2ms},
+    {"spin-2ms", LockKind::kSpin2ms}, {"cna", LockKind::kCna},
+    {"hmcs-t", LockKind::kHmcsT},    {"fissile", LockKind::kFissile},
+};
+
+// The subset raced for handoff attribution: the queue-based locks, where the
+// grant order is the algorithm's choice (spin locks hand off to whoever wins
+// the next test-and-set, which is bus arbitration, not policy).
+const Series kHandoffSeries[] = {
+    {"mcs", LockKind::kMcs},        {"h1-mcs", LockKind::kMcsH1},
+    {"h2-mcs", LockKind::kMcsH2},   {"cna", LockKind::kCna},
+    {"hmcs-t", LockKind::kHmcsT},   {"fissile", LockKind::kFissile},
 };
 
 const unsigned kProcs[] = {1, 2, 4, 8, 12, 16};
@@ -110,6 +125,43 @@ int main(int argc, char** argv) {
                  {"worst_us", hsim::TicksToUs(r.acquire_latency.max())},
                  {"mean_us", r.acquire_latency.mean_us()},
                  {"w_us", r.little_response_us()}});
+
+  // Handoff attribution at full contention (p=16, hold=25us): for each
+  // queue-based lock, attach an hprof site and report the owner-transition
+  // mix by NUMA distance.  FIFO MCS grants in arrival order, so with 4
+  // stations only ~1/4 of its handoffs stay on the releasing owner's station;
+  // CNA and HMCS-T reorder grants to batch same-station waiters and should
+  // push the same-cluster share toward 1 (bounded by the streak/threshold
+  // caps that prevent remote starvation).
+  printf("\nhandoff attribution at p=16, hold=25us (fraction of handoffs)\n");
+  printf("%-10s %12s %12s %12s\n", "lock", "same-proc", "same-clust", "cross-clust");
+  for (const Series& series : kHandoffSeries) {
+    hprof::LockSiteStats site(std::string("fig5/") + series.name,
+                              /*procs_per_cluster=*/4);
+    LockStressParams hp;
+    hp.kind = series.kind;
+    hp.processors = 16;
+    hp.hold = hsim::UsToTicks(25);
+    hp.duration = hsim::UsToTicks(opts.smoke ? 2000 : 20000);
+    hp.site = &site;
+    hsim::RunLockStress(hp);
+    const double same_proc =
+        static_cast<double>(site.handoffs(hprof::Handoff::kSameProcessor));
+    const double same_clust =
+        static_cast<double>(site.handoffs(hprof::Handoff::kSameCluster));
+    const double cross_clust =
+        static_cast<double>(site.handoffs(hprof::Handoff::kCrossCluster));
+    const double total = same_proc + same_clust + cross_clust;
+    const double denom = total > 0 ? total : 1;
+    printf("%-10s %12.3f %12.3f %12.3f\n", series.name, same_proc / denom,
+           same_clust / denom, cross_clust / denom);
+    report.AddSeries("handoff", {{"lock", series.name}})
+        .AddPoint({{"p", 16},
+                   {"hold_us", 25},
+                   {"frac_same_processor", same_proc / denom},
+                   {"frac_same_cluster", same_clust / denom},
+                   {"frac_cross_cluster", cross_clust / denom}});
+  }
 
   if (opts.profile) {
     // Figure 5 contention analysis as an hprof report: all 16 processors

@@ -26,6 +26,9 @@ namespace hcheck {
 
 struct Platform {
   static constexpr std::uint32_t kMaxThreads = kMaxModelThreads;
+  // Tells backoff-aware code (src/hlock/algo/native_backend.h) that delay
+  // magnitudes are meaningless here: one Yield is a complete backoff.
+  static constexpr bool kModelChecked = true;
 
   template <typename T>
   using Atomic = hcheck::Atomic<T>;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/reserve_bit.h"
 #include "src/hsim/locks/spin_lock.h"
 
@@ -12,19 +12,7 @@ using hsim::SimReserve;
 
 std::unique_ptr<hsim::SimLock> MakeCoarseLock(hsim::Machine* machine, hsim::ModuleId module,
                                               hsim::LockKind kind) {
-  switch (kind) {
-    case hsim::LockKind::kSpin35us:
-      return std::make_unique<hsim::SimSpinLock>(machine, module, hsim::UsToTicks(35));
-    case hsim::LockKind::kSpin2ms:
-      return std::make_unique<hsim::SimSpinLock>(machine, module, hsim::UsToTicks(2000));
-    case hsim::LockKind::kMcs:
-      return std::make_unique<hsim::SimMcsLock>(machine, module, hsim::McsVariant::kOriginal);
-    case hsim::LockKind::kMcsH1:
-      return std::make_unique<hsim::SimMcsLock>(machine, module, hsim::McsVariant::kH1);
-    case hsim::LockKind::kMcsH2:
-      return std::make_unique<hsim::SimMcsLock>(machine, module, hsim::McsVariant::kH2);
-  }
-  return nullptr;
+  return hsim::MakeSimLock(machine, kind, module);
 }
 
 ClusterKernel::ClusterKernel(hsim::Machine* machine, const KernelConfig& config, std::uint32_t id,

@@ -1,0 +1,133 @@
+// Reserve "bits": the fine-grained half of the hybrid locking strategy,
+// written once over the memory backend.
+//
+// A reserve word is set under the protection of a coarse-grained lock using
+// ordinary loads and stores (no atomic operations), may be held for a long
+// time, and is cleared by its holder with a plain store.  Waiters release the
+// coarse lock and spin on the reserve word with exponential backoff, then
+// re-acquire the coarse lock and retry (Figure 1b).
+//
+// Depending on the data it protects a reserve word acts as an exclusive lock
+// or as a reader-writer lock (Section 2.3): value 0 means free, kExclusive
+// means exclusively reserved, any other value is a reader count.  All state
+// transitions except the exclusive holder's clear happen under the coarse
+// lock, so plain read-modify-write sequences are safe.
+//
+// The operations are stateless over a caller-owned word: the simulator runs
+// them on SimWords embedded in kernel descriptors, the native HybridTable on
+// reserve words embedded in its type-stable entries.  Memory orders carry the
+// native publication contract: seeing 0 with an acquire load takes over the
+// entry, so the previous holder's writes (published by the release store in
+// ClearExclusive) must be visible.
+
+#ifndef HLOCK_ALGO_RESERVE_H_
+#define HLOCK_ALGO_RESERVE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "src/hlock/algo/backend.h"
+
+namespace hlock::algo {
+
+template <class B>
+struct ReserveCore {
+  using Ctx = typename B::Ctx;
+  using Word = typename B::Word;
+  template <typename T>
+  using TaskT = typename B::template TaskT<T>;
+
+  static constexpr std::uint64_t kFree = 0;
+  static constexpr std::uint64_t kExclusive = std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint64_t kBaseBackoff = 8;
+
+  // --- operations that require the protecting coarse lock to be held ---
+
+  // Attempts to reserve exclusively.  Returns false if already reserved
+  // (exclusively or by readers).
+  static TaskT<bool> TrySetExclusive(B& b, Ctx& ctx, Word& word) {
+    const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_acquire);
+    co_await b.Exec(ctx, 0, 1);
+    if (state != kFree) {
+      co_return false;
+    }
+    co_await b.Store(ctx, word, kExclusive, std::memory_order_relaxed);
+    co_return true;
+  }
+
+  // Attempts to add a reader.  Returns false if exclusively reserved.
+  static TaskT<bool> TryAddReader(B& b, Ctx& ctx, Word& word) {
+    const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_acquire);
+    co_await b.Exec(ctx, 1, 1);
+    if (state == kExclusive) {
+      co_return false;
+    }
+    // The reader count must never reach kExclusive: that increment would make
+    // a fully-read-shared entry indistinguishable from an exclusive
+    // reservation.  Unreachable in practice (2^64 - 2 concurrent readers),
+    // but cheap, and it keeps the encoding honest under hcheck.
+    B::Check(state + 1 != kExclusive, "reserve reader count saturated into kExclusive");
+    co_await b.Store(ctx, word, state + 1, std::memory_order_relaxed);
+    co_return true;
+  }
+
+  // Drops a reader (also requires the coarse lock: reader counts are shared
+  // state with no atomic update primitive).
+  static TaskT<void> RemoveReader(B& b, Ctx& ctx, Word& word) {
+    const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_relaxed);
+    co_await b.Exec(ctx, 1, 0);
+    // A decrement from 0 would wrap to kExclusive -- a phantom exclusive
+    // reservation nobody can ever release.
+    B::Check(state != kFree && state != kExclusive, "reserve reader release without a reader hold");
+    co_await b.Store(ctx, word, state - 1, std::memory_order_relaxed);
+  }
+
+  // Reads the current state (for handlers that must fail rather than spin).
+  static TaskT<std::uint64_t> Read(B& b, Ctx& ctx, Word& word) {
+    co_return co_await b.Load(ctx, word, std::memory_order_acquire);
+  }
+
+  // --- operations performed without the coarse lock ---
+
+  // The exclusive holder clears its reservation with a plain (release) store.
+  static TaskT<void> ClearExclusive(B& b, Ctx& ctx, Word& word) {
+    co_await b.Store(ctx, word, kFree, std::memory_order_release);
+  }
+
+  // Spins (with jittered exponential backoff capped at `max_backoff`) until
+  // the word is observed free.  The caller then re-acquires the coarse lock
+  // and re-checks; this helper alone guarantees nothing.
+  static TaskT<void> SpinUntilFree(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff) {
+    co_await SpinUntil(b, ctx, word, max_backoff, /*until_free=*/true);
+  }
+
+  // Spins until the word is observed *not exclusively* reserved (reader
+  // admission); same caveats as SpinUntilFree.
+  static TaskT<void> SpinWhileExclusive(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff) {
+    co_await SpinUntil(b, ctx, word, max_backoff, /*until_free=*/false);
+  }
+
+ private:
+  static TaskT<void> SpinUntil(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff,
+                               bool until_free) {
+    std::uint64_t delay = kBaseBackoff;
+    while (true) {
+      const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_acquire);
+      co_await b.Exec(ctx, 0, 1);
+      if (until_free ? state == kFree : state != kExclusive) {
+        co_return;
+      }
+      // Jitter desynchronizes waiters that were released in a convoy; the
+      // doubling cap bounds the worst-case reaction time to a free word.
+      const std::uint64_t jittered = delay / 2 + b.RandomBelow(ctx, delay / 2 + 1);
+      co_await b.BackoffUnits(ctx, jittered, /*at_cap=*/delay >= max_backoff);
+      delay = std::min(delay * 2, max_backoff);
+    }
+  }
+};
+
+}  // namespace hlock::algo
+
+#endif  // HLOCK_ALGO_RESERVE_H_

@@ -1,0 +1,98 @@
+// Bootstrap spin locks: test-and-set and test-and-test-and-set.
+//
+// These two are deliberately *not* written over the algorithm layer
+// (src/hlock/algo/): TtasSpinLock is StdPlatform's PoolLock -- the lock the
+// layer's own node pools sit on -- so expressing it through the layer would
+// be circular.  They are also the baselines simple enough that a policy
+// indirection would obscure more than it shares.
+
+#ifndef HLOCK_BOOTSTRAP_LOCKS_H_
+#define HLOCK_BOOTSTRAP_LOCKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/hlock/backoff.h"
+#include "src/hlock/thread_id.h"
+#include "src/hprof/lock_site.h"
+
+namespace hlock {
+
+// Pure test-and-set: every retry is a read-modify-write.  The simplest and,
+// under contention, the most cache-line-hostile lock.
+class TasSpinLock {
+ public:
+  void lock() {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      CpuRelax();
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Test-and-test-and-set: spin on a plain load (cache-local once the line is
+// shared) and only attempt the RMW when the lock looks free.
+class TtasSpinLock {
+ public:
+  void lock() {
+    const std::uint64_t t0 =
+        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
+    bool contended = false;
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        break;
+      }
+      if (site_ != nullptr && !contended) {
+        site_->EnterQueue();
+      }
+      contended = true;
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+    if (site_ != nullptr) {
+      if (contended) {
+        site_->LeaveQueue();
+      }
+      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), now - t0, contended);
+      hold_start_ = now;
+    }
+  }
+
+  bool try_lock() {
+    const bool taken = !locked_.load(std::memory_order_relaxed) &&
+                       !locked_.exchange(true, std::memory_order_acquire);
+    if (taken && site_ != nullptr) {
+      hold_start_ = hprof::LockSiteStats::NowTicks();
+      site_->RecordAcquire(CurrentThreadId(), 0, /*contended=*/false);
+    }
+    return taken;
+  }
+
+  void unlock() {
+    if (site_ != nullptr) {
+      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
+    }
+    locked_.store(false, std::memory_order_release);
+  }
+
+  // Attaches a profiling site (null detaches); wait/hold samples are host
+  // nanoseconds.  Not thread-safe against concurrent lock users.
+  void set_site(hprof::LockSiteStats* site) { site_ = site; }
+
+ private:
+  std::atomic<bool> locked_{false};
+  hprof::LockSiteStats* site_ = nullptr;
+  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
+};
+
+}  // namespace hlock
+
+#endif  // HLOCK_BOOTSTRAP_LOCKS_H_

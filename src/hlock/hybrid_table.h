@@ -20,6 +20,12 @@
 // TryAcquire* methods are the "no-spin" variants used by code running in
 // interrupt/RPC-handler context, which must fail rather than wait
 // (Section 2.3's optimistic deadlock-avoidance protocol).
+//
+// The reserve-word state machine itself (exclusive / reader-count encoding,
+// the spin protocols) lives in src/hlock/algo/reserve.h, written once over
+// the memory backend and shared with the simulator's kernel descriptors; this
+// table binds it to the native backend and supplies the coarse lock, the
+// entry pool, and the retry loops around it.
 
 #ifndef HLOCK_HYBRID_TABLE_H_
 #define HLOCK_HYBRID_TABLE_H_
@@ -33,6 +39,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/hlock/algo/native_backend.h"
+#include "src/hlock/algo/reserve.h"
 #include "src/hlock/backoff.h"
 #include "src/hlock/mcs_locks.h"
 #include "src/hlock/platform.h"
@@ -46,16 +54,16 @@ namespace hlock {
 template <typename K, typename V, typename CoarseLock = McsH2Lock, typename Hash = std::hash<K>,
           typename Platform = StdPlatform>
 class HybridTable {
+  using Backend = algo::NativeBackend<Platform>;
+  using Reserve = algo::ReserveCore<Backend>;
+
  public:
-  // Reserve-word encoding: 0 = free, kExclusive = exclusively reserved, any
-  // other value = that many readers.  The reader count must therefore never
-  // reach kExclusive: the kExclusive - 1'th reader increment would make a
-  // fully-read-shared entry indistinguishable from an exclusive reservation
-  // (writers would spin on readers forever; a reader's decrement would then
-  // "free" an entry that still has kExclusive - 1 holders).  Both increment
-  // sites Check() the bound -- unreachable in practice (2^64 - 2 concurrent
-  // readers), but cheap, and it keeps the encoding honest under hcheck.
-  static constexpr std::uint64_t kExclusive = std::numeric_limits<std::uint64_t>::max();
+  // Reserve-word encoding (see algo::ReserveCore): 0 = free, kExclusive =
+  // exclusively reserved, any other value = that many readers.
+  static constexpr std::uint64_t kExclusive = Reserve::kExclusive;
+
+  // Cap (in backoff units) for the reserve-word spin loops.
+  static constexpr std::uint64_t kMaxBackoff = 1024;
 
   explicit HybridTable(std::size_t num_buckets = 128) : buckets_(num_buckets, nullptr) {}
   HybridTable(const HybridTable&) = delete;
@@ -95,7 +103,8 @@ class HybridTable {
           site_ = nullptr;
         }
         // Exclusive clear needs no lock and no read-modify-write.
-        entry_->reserve.store(0, std::memory_order_release);
+        typename Backend::Ctx ctx{Platform::ThreadId()};
+        Reserve::ClearExclusive(table_->backend_, ctx, entry_->reserve).Get();
         entry_ = nullptr;
         table_ = nullptr;
       }
@@ -134,12 +143,8 @@ class HybridTable {
       if (entry_ != nullptr) {
         // Reader counts are shared state: update under the coarse lock.
         std::lock_guard<CoarseLock> guard(table_->lock_);
-        const std::uint64_t state = entry_->reserve.load(std::memory_order_relaxed);
-        // A decrement from 0 would wrap to kExclusive -- a phantom exclusive
-        // reservation nobody can ever release.
-        Platform::Check(state != 0 && state != kExclusive,
-                        "HybridTable reader release without a reader hold");
-        entry_->reserve.store(state - 1, std::memory_order_relaxed);
+        typename Backend::Ctx ctx{Platform::ThreadId()};
+        Reserve::RemoveReader(table_->backend_, ctx, entry_->reserve).Get();
         entry_ = nullptr;
         table_ = nullptr;
       }
@@ -159,7 +164,7 @@ class HybridTable {
     const std::uint64_t t0 =
         reserve_site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
     bool contended = false;
-    typename Platform::Backoff backoff;
+    typename Backend::Ctx ctx{Platform::ThreadId()};
     while (true) {
       Entry* wait_target = nullptr;
       {
@@ -168,11 +173,7 @@ class HybridTable {
         if (entry == nullptr) {
           entry = InsertLocked(key);
         }
-        // Acquire load: seeing 0 takes over the entry, so the previous
-        // holder's writes to `value` must be visible (it published them with
-        // the release store in ExclusiveGuard::Release).
-        if (entry->reserve.load(std::memory_order_acquire) == 0) {
-          entry->reserve.store(kExclusive, std::memory_order_relaxed);
+        if (Reserve::TrySetExclusive(backend_, ctx, entry->reserve).Get()) {
           return GrantExclusive(entry, t0, contended);
         }
         wait_target = entry;
@@ -184,9 +185,7 @@ class HybridTable {
         reserve_site_->EnterQueue();
       }
       contended = true;
-      while (wait_target->reserve.load(std::memory_order_acquire) != 0) {
-        backoff.Pause();
-      }
+      Reserve::SpinUntilFree(backend_, ctx, wait_target->reserve, kMaxBackoff).Get();
     }
   }
 
@@ -198,16 +197,16 @@ class HybridTable {
     if (entry == nullptr) {
       entry = InsertLocked(key);
     }
-    if (entry->reserve.load(std::memory_order_acquire) != 0) {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    if (!Reserve::TrySetExclusive(backend_, ctx, entry->reserve).Get()) {
       return ExclusiveGuard();
     }
-    entry->reserve.store(kExclusive, std::memory_order_relaxed);
     return GrantExclusive(entry, /*wait_start=*/0, /*contended=*/false);
   }
 
   // Shared (reader) reserve; spins while exclusively reserved.
   SharedGuard AcquireShared(const K& key) {
-    typename Platform::Backoff backoff;
+    typename Backend::Ctx ctx{Platform::ThreadId()};
     while (true) {
       Entry* wait_target = nullptr;
       {
@@ -216,18 +215,12 @@ class HybridTable {
         if (entry == nullptr) {
           entry = InsertLocked(key);
         }
-        const std::uint64_t state = entry->reserve.load(std::memory_order_acquire);
-        if (state != kExclusive) {
-          Platform::Check(state + 1 != kExclusive,
-                          "HybridTable reader count saturated into kExclusive");
-          entry->reserve.store(state + 1, std::memory_order_relaxed);
+        if (Reserve::TryAddReader(backend_, ctx, entry->reserve).Get()) {
           return SharedGuard(this, entry);
         }
         wait_target = entry;
       }
-      while (wait_target->reserve.load(std::memory_order_acquire) == kExclusive) {
-        backoff.Pause();
-      }
+      Reserve::SpinWhileExclusive(backend_, ctx, wait_target->reserve, kMaxBackoff).Get();
     }
   }
 
@@ -238,13 +231,10 @@ class HybridTable {
     if (entry == nullptr) {
       return SharedGuard();
     }
-    const std::uint64_t state = entry->reserve.load(std::memory_order_acquire);
-    if (state == kExclusive) {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    if (!Reserve::TryAddReader(backend_, ctx, entry->reserve).Get()) {
       return SharedGuard();
     }
-    Platform::Check(state + 1 != kExclusive,
-                    "HybridTable reader count saturated into kExclusive");
-    entry->reserve.store(state + 1, std::memory_order_relaxed);
     return SharedGuard(this, entry);
   }
 
@@ -275,7 +265,8 @@ class HybridTable {
       if (entry->key == key) {
         // Acquire: the recycled entry will be rewritten, which must not race
         // with the last holder's writes.
-        if (entry->reserve.load(std::memory_order_acquire) != 0) {
+        typename Backend::Ctx ctx{Platform::ThreadId()};
+        if (Reserve::Read(backend_, ctx, entry->reserve).Get() != Reserve::kFree) {
           return false;
         }
         *link = entry->next;
@@ -307,7 +298,7 @@ class HybridTable {
   struct Entry {
     K key{};
     V value{};
-    typename Platform::template Atomic<std::uint64_t> reserve{0};
+    typename Backend::Word reserve;  // zero-initialized = free
     Entry* next = nullptr;
   };
 
@@ -357,6 +348,7 @@ class HybridTable {
   }
 
   CoarseLock lock_;
+  Backend backend_;
   hprof::LockSiteStats* reserve_site_ = nullptr;
   std::vector<Entry*> buckets_;
   std::deque<Entry> pool_;  // type-stable entry storage

@@ -29,6 +29,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/hlock/algo/mcs.h"
+#include "src/hlock/algo/native_backend.h"
 #include "src/hlock/padded.h"
 #include "src/hlock/platform.h"
 #include "src/hprof/lock_site.h"
@@ -122,122 +124,50 @@ using McsLock = BasicMcsLock<>;
 
 namespace internal {
 
-// Shared implementation of the H1/H2 variants: per-thread pre-initialized
-// nodes and the swap-only release.
+// The H1/H2 variants: per-thread pre-initialized nodes and the swap-only
+// release.  The algorithm body lives in src/hlock/algo/mcs.h, written once
+// over the memory-backend concept; this adapter binds it to the native
+// backend (raw atomics via StdPlatform, model-checked memory via
+// hcheck::Platform) and runs the coroutine core eagerly to completion inside
+// lock()/unlock().  The backend-visible operations -- and under hcheck the
+// schedule points -- are the same, one for one, as the previous hand-written
+// body.
 template <class Platform, bool kCheckSuccessor>
 class HurricaneMcsLock {
  public:
-  HurricaneMcsLock() {
-    for (auto& node : nodes_) {
-      node->next.store(nullptr, std::memory_order_relaxed);
-      node->locked.store(true, std::memory_order_relaxed);  // rest state: ready to wait
-    }
-  }
+  HurricaneMcsLock()
+      : core_(&backend_,
+              kCheckSuccessor ? algo::McsVariant::kH1 : algo::McsVariant::kH2,
+              /*home=*/0) {}
   HurricaneMcsLock(const HurricaneMcsLock&) = delete;
   HurricaneMcsLock& operator=(const HurricaneMcsLock&) = delete;
 
   void lock() {
-    QNode& node = *nodes_[Platform::ThreadId()];
-    const std::uint64_t t0 =
-        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
-    // Modification 1: no initialization stores here; the rest-state invariant
-    // (next == nullptr, locked == true) is maintained by the contended paths.
-    QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
-    if (pred == nullptr) {
-      if (site_ != nullptr) {
-        RecordGrant(t0, /*contended=*/false);
-      }
-      return;
-    }
-    if (site_ != nullptr) {
-      site_->EnterQueue();
-    }
-    pred->next.store(&node, std::memory_order_release);
-    typename Platform::Backoff backoff;
-    while (node.locked.load(std::memory_order_acquire)) {
-      backoff.Pause();
-    }
-    node.locked.store(true, std::memory_order_relaxed);  // re-initialize
-    if (site_ != nullptr) {
-      site_->LeaveQueue();
-      RecordGrant(t0, /*contended=*/true);
-    }
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.Acquire(ctx).Get();
   }
 
   void unlock() {
-    QNode& node = *nodes_[Platform::ThreadId()];
-    if (site_ != nullptr) {
-      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
-    }
-    QNode* succ = nullptr;
-    if constexpr (kCheckSuccessor) {
-      succ = node.next.load(std::memory_order_acquire);
-      if (succ != nullptr) {
-        node.next.store(nullptr, std::memory_order_relaxed);  // re-initialize
-        succ->locked.store(false, std::memory_order_release);
-        return;
-      }
-    }
-    // Modification 2 (when kCheckSuccessor is false): release with a single
-    // swap.  If someone was queued, repair.
-    QNode* old_tail = tail_.exchange(nullptr, std::memory_order_acq_rel);
-    if (old_tail == &node) {
-      return;
-    }
-    repairs_.fetch_add(1, std::memory_order_relaxed);
-    // A successor exists but the lock word now reads free: anyone who swapped
-    // themselves in believes they hold the lock (the usurper).  Restore the
-    // tail and splice our waiters behind the usurper chain.
-    QNode* usurper = tail_.exchange(old_tail, std::memory_order_acq_rel);
-    typename Platform::Backoff backoff;
-    while ((succ = node.next.load(std::memory_order_acquire)) == nullptr) {
-      backoff.Pause();
-    }
-    node.next.store(nullptr, std::memory_order_relaxed);  // re-initialize
-    if (usurper != nullptr) {
-      usurper->next.store(succ, std::memory_order_release);
-    } else {
-      succ->locked.store(false, std::memory_order_release);
-    }
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.Release(ctx).Get();
   }
 
   bool try_lock() {
-    // A Distributed Lock acquires by unconditional swap; a true try_lock
-    // needs CAS (available natively): grab only if free.
-    QNode& node = *nodes_[Platform::ThreadId()];
-    QNode* expected = nullptr;
-    const bool taken = tail_.compare_exchange_strong(
-        expected, &node, std::memory_order_acq_rel, std::memory_order_acquire);
-    if (taken && site_ != nullptr) {
-      RecordGrant(hprof::LockSiteStats::NowTicks(), /*contended=*/false);
-    }
-    return taken;
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    return core_.TryAcquire(ctx).Get();
   }
 
   // Number of contended releases that had to repair the queue.
-  std::uint64_t repairs() const { return repairs_.load(std::memory_order_relaxed); }
+  std::uint64_t repairs() const { return core_.repairs(); }
 
   // Attaches a profiling site (null detaches); wait/hold samples are host
   // nanoseconds.  Not thread-safe against concurrent lock users.
-  void set_site(hprof::LockSiteStats* site) { site_ = site; }
+  void set_site(hprof::LockSiteStats* site) { core_.set_site(site); }
 
  private:
-  struct QNode {
-    typename Platform::template Atomic<QNode*> next{nullptr};
-    typename Platform::template Atomic<bool> locked{true};
-  };
-
-  void RecordGrant(std::uint64_t wait_start, bool contended) {
-    const std::uint64_t now = hprof::LockSiteStats::NowTicks();
-    site_->RecordAcquire(Platform::ThreadId(), now - wait_start, contended);
-    hold_start_ = now;
-  }
-
-  typename Platform::template Atomic<QNode*> tail_{nullptr};
-  typename Platform::template Atomic<std::uint64_t> repairs_{0};
-  hprof::LockSiteStats* site_ = nullptr;
-  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
-  Padded<QNode> nodes_[Platform::kMaxThreads];
+  using Backend = algo::NativeBackend<Platform>;
+  Backend backend_;
+  algo::McsCore<Backend> core_;
 };
 
 }  // namespace internal

@@ -31,7 +31,7 @@
 #include <mutex>
 
 #include "src/hlock/backoff.h"
-#include "src/hlock/spin_locks.h"
+#include "src/hlock/bootstrap_locks.h"
 #include "src/hlock/thread_id.h"
 
 namespace hlock {

@@ -4,6 +4,9 @@
 // These are the baselines the paper's Distributed Locks are measured against
 // (Figure 3c).  All locks satisfy the BasicLockable requirements, so they
 // compose with std::lock_guard / std::scoped_lock.
+//
+// TasSpinLock and TtasSpinLock live in bootstrap_locks.h (they sit beneath
+// the platform policy and the algorithm layer) and are re-exported here.
 
 #ifndef HLOCK_SPIN_LOCKS_H_
 #define HLOCK_SPIN_LOCKS_H_
@@ -11,144 +14,54 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/hlock/algo/native_backend.h"
+#include "src/hlock/algo/spin.h"
 #include "src/hlock/backoff.h"
+#include "src/hlock/bootstrap_locks.h"
 #include "src/hlock/padded.h"
+#include "src/hlock/platform.h"
 #include "src/hlock/thread_id.h"
 #include "src/hprof/lock_site.h"
 
 namespace hlock {
 
-// Pure test-and-set: every retry is a read-modify-write.  The simplest and,
-// under contention, the most cache-line-hostile lock.
-class TasSpinLock {
- public:
-  void lock() {
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      CpuRelax();
-    }
-  }
-
-  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
-
-  void unlock() { locked_.store(false, std::memory_order_release); }
-
- private:
-  std::atomic<bool> locked_{false};
-};
-
-// Test-and-test-and-set: spin on a plain load (cache-local once the line is
-// shared) and only attempt the RMW when the lock looks free.
-class TtasSpinLock {
- public:
-  void lock() {
-    const std::uint64_t t0 =
-        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
-    bool contended = false;
-    while (true) {
-      if (!locked_.exchange(true, std::memory_order_acquire)) {
-        break;
-      }
-      if (site_ != nullptr && !contended) {
-        site_->EnterQueue();
-      }
-      contended = true;
-      while (locked_.load(std::memory_order_relaxed)) {
-        CpuRelax();
-      }
-    }
-    if (site_ != nullptr) {
-      if (contended) {
-        site_->LeaveQueue();
-      }
-      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
-      site_->RecordAcquire(CurrentThreadId(), now - t0, contended);
-      hold_start_ = now;
-    }
-  }
-
-  bool try_lock() {
-    const bool taken = !locked_.load(std::memory_order_relaxed) &&
-                       !locked_.exchange(true, std::memory_order_acquire);
-    if (taken && site_ != nullptr) {
-      hold_start_ = hprof::LockSiteStats::NowTicks();
-      site_->RecordAcquire(CurrentThreadId(), 0, /*contended=*/false);
-    }
-    return taken;
-  }
-
-  void unlock() {
-    if (site_ != nullptr) {
-      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
-    }
-    locked_.store(false, std::memory_order_release);
-  }
-
-  // Attaches a profiling site (null detaches); wait/hold samples are host
-  // nanoseconds.  Not thread-safe against concurrent lock users.
-  void set_site(hprof::LockSiteStats* site) { site_ = site; }
-
- private:
-  std::atomic<bool> locked_{false};
-  hprof::LockSiteStats* site_ = nullptr;
-  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
-};
-
 // Test-and-set with exponential backoff (Figure 3c).  The backoff cap is the
 // tuning knob the paper evaluates at 35 us and 2 ms equivalents: a small cap
 // keeps uncontended latency low but floods the interconnect under load; a
 // large cap is gentle on the memory system but invites starvation.
+//
+// The algorithm body lives in src/hlock/algo/spin.h, shared with the
+// simulator; this adapter binds it to the native backend (the release is an
+// exchange there too -- HECTOR fidelity the simulator requires and the native
+// lock tolerates).
 class BackoffSpinLock {
  public:
   explicit BackoffSpinLock(std::uint32_t max_backoff_spins = 1024)
-      : max_backoff_spins_(max_backoff_spins) {}
+      : core_(&backend_, /*home=*/0, max_backoff_spins) {}
 
   void lock() {
-    const std::uint64_t t0 =
-        site_ != nullptr ? hprof::LockSiteStats::NowTicks() : 0;
-    bool contended = false;
-    Backoff backoff(4, max_backoff_spins_);
-    while (locked_.exchange(true, std::memory_order_acquire)) {
-      if (site_ != nullptr && !contended) {
-        site_->EnterQueue();
-      }
-      contended = true;
-      backoff.Pause();
-    }
-    if (site_ != nullptr) {
-      if (contended) {
-        site_->LeaveQueue();
-      }
-      const std::uint64_t now = hprof::LockSiteStats::NowTicks();
-      site_->RecordAcquire(CurrentThreadId(), now - t0, contended);
-      hold_start_ = now;
-    }
+    Backend::Ctx ctx{CurrentThreadId()};
+    core_.Acquire(ctx).Get();
   }
 
   bool try_lock() {
-    const bool taken = !locked_.exchange(true, std::memory_order_acquire);
-    if (taken && site_ != nullptr) {
-      hold_start_ = hprof::LockSiteStats::NowTicks();
-      site_->RecordAcquire(CurrentThreadId(), 0, /*contended=*/false);
-    }
-    return taken;
+    Backend::Ctx ctx{CurrentThreadId()};
+    return core_.TryAcquire(ctx).Get();
   }
 
   void unlock() {
-    if (site_ != nullptr) {
-      site_->RecordRelease(hprof::LockSiteStats::NowTicks() - hold_start_);
-    }
-    locked_.store(false, std::memory_order_release);
+    Backend::Ctx ctx{CurrentThreadId()};
+    core_.Release(ctx).Get();
   }
 
   // Attaches a profiling site (null detaches); wait/hold samples are host
   // nanoseconds.  Not thread-safe against concurrent lock users.
-  void set_site(hprof::LockSiteStats* site) { site_ = site; }
+  void set_site(hprof::LockSiteStats* site) { core_.set_site(site); }
 
  private:
-  std::atomic<bool> locked_{false};
-  std::uint32_t max_backoff_spins_;
-  hprof::LockSiteStats* site_ = nullptr;
-  std::uint64_t hold_start_ = 0;  // owner-written only (protected by the lock)
+  using Backend = algo::NativeBackend<StdPlatform>;
+  Backend backend_;
+  algo::SpinCore<Backend> core_;
 };
 
 // Ticket lock: FIFO-fair like a Distributed Lock, but all waiters spin on the

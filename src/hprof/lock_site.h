@@ -97,8 +97,20 @@ class LockSiteStats {
 
   // Called by the new owner the moment it holds the lock.  `wait` is the
   // acquire latency in ticks; `contended` whether the acquirer had to wait
-  // (spin retry, queue predecessor, reserved entry).
+  // (spin retry, queue predecessor, reserved entry).  This overload derives
+  // the owner's cluster from the id-division convention; hierarchical locks
+  // (whose queue nodes carry real topology) use the explicit-cluster
+  // overload below for exact handoff attribution.
   void RecordAcquire(std::uint32_t owner, std::uint64_t wait, bool contended) {
+    RecordAcquire(owner, wait, contended, owner / procs_per_cluster_);
+  }
+
+  // Exact-attribution overload: `cluster` is the acquirer's cluster as the
+  // *lock* knows it -- captured at enqueue time from the backend topology,
+  // not re-derived from grant order.  Handoff classification compares the
+  // recorded clusters of consecutive owners.
+  void RecordAcquire(std::uint32_t owner, std::uint64_t wait, bool contended,
+                     std::uint32_t cluster) {
     SpinGuard guard(&mu_);
     ++acquisitions_;
     if (contended) {
@@ -106,11 +118,18 @@ class LockSiteStats {
     }
     wait_.Record(wait);
     if (has_last_owner_) {
-      ++handoffs_[static_cast<int>(Classify(last_owner_, owner, procs_per_cluster_))];
+      Handoff h = Handoff::kCrossCluster;
+      if (last_owner_ == owner) {
+        h = Handoff::kSameProcessor;
+      } else if (last_owner_cluster_ == cluster) {
+        h = Handoff::kSameCluster;
+      }
+      ++handoffs_[static_cast<int>(h)];
     }
     last_owner_ = owner;
+    last_owner_cluster_ = cluster;
     has_last_owner_ = true;
-    ClusterShare& share = by_cluster_[owner / procs_per_cluster_];
+    ClusterShare& share = by_cluster_[cluster];
     ++share.acquisitions;
     share.wait_ticks += wait;
   }
@@ -132,6 +151,15 @@ class LockSiteStats {
            !max_queue_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
     }
   }
+  // Enqueue-time cluster capture: in addition to depth tracking, counts the
+  // waiter against its cluster the moment it joins the queue -- the exact
+  // signal hierarchical locks reorder (a CNA secondary queue defers exactly
+  // these waiters), so reports can compare offered vs granted mix.
+  void EnterQueue(std::uint32_t cluster) {
+    EnterQueue();
+    SpinGuard guard(&mu_);
+    ++by_cluster_[cluster].enqueues;
+  }
   void LeaveQueue() { queue_depth_.fetch_sub(1, std::memory_order_relaxed); }
 
   // --- accessors (quiescent reads; tests and exporters) -----------------------
@@ -152,6 +180,7 @@ class LockSiteStats {
   struct ClusterShare {
     std::uint64_t acquisitions = 0;
     std::uint64_t wait_ticks = 0;
+    std::uint64_t enqueues = 0;  // contended waits recorded at enqueue time
   };
   const std::map<std::uint32_t, ClusterShare>& by_cluster() const { return by_cluster_; }
 
@@ -179,6 +208,7 @@ class LockSiteStats {
       w->BeginObject();
       w->Field("acquisitions", share.acquisitions);
       w->Field("wait_sum", share.wait_ticks);
+      w->Field("enqueues", share.enqueues);
       w->EndObject();
     }
     w->EndObject();
@@ -217,6 +247,7 @@ class LockSiteStats {
   std::uint64_t contended_ = 0;
   std::uint64_t handoffs_[3] = {0, 0, 0};
   std::uint32_t last_owner_ = 0;
+  std::uint32_t last_owner_cluster_ = 0;
   bool has_last_owner_ = false;
   hmetrics::LatencyHistogram wait_;
   hmetrics::LatencyHistogram hold_;

@@ -1,166 +1,8 @@
 #include "src/hsim/locks/mcs_lock.h"
 
+#include "src/hsim/locks/sim_lock.h"
+
 namespace hsim {
-
-SimMcsLock::SimMcsLock(Machine* machine, ModuleId home, McsVariant variant)
-    : machine_(machine), tail_(machine->AllocWord(home, kNil)), variant_(variant) {
-  const std::uint32_t nprocs = machine->num_processors();
-  qnodes_.reserve(nprocs);
-  for (std::uint32_t p = 0; p < nprocs; ++p) {
-    // Queue nodes live in the owning processor's local memory.  For H1/H2 the
-    // rest state is pre-initialized: next == nil, locked == 1 (ready to
-    // wait); the contended paths below restore this invariant whenever they
-    // modify a node.  The original algorithm initializes next in acquire.
-    qnodes_.push_back(QNode{&machine->AllocWord(p, kNil), &machine->AllocWord(p, 1)});
-  }
-}
-
-Task<void> SimMcsLock::Acquire(Processor& p) {
-  const std::uint64_t me = p.id() + 1;
-  QNode& node = qnodes_[p.id()];
-  hmetrics::TraceSession* tr =
-      machine_->trace_enabled(hmetrics::kTraceLocks) ? machine_->trace() : nullptr;
-  hmetrics::TraceSession::SpanId span = 0;
-  if (tr != nullptr) {
-    span = tr->BeginSpan(hmetrics::kTraceLocks, "lock/acquire", p.id(), p.now());
-    tr->AddArg(span, "lock", name());
-  }
-  const Tick wait_start = p.now();
-
-  if (variant_ == McsVariant::kOriginal) {
-    // I->next := nil  -- hoisted out of the critical path by modification H1.
-    co_await p.Store(*node.next, kNil);
-  }
-
-  const std::uint64_t pred = co_await p.FetchStore(tail_, me);
-  // Compare predecessor against nil, branch, return (uncontended exit).
-  co_await p.Exec(1, 2);
-  if (pred == kNil) {
-    if (site_ != nullptr) {
-      site_->RecordAcquire(p.id(), p.now() - wait_start, /*contended=*/false);
-      hold_start_ = p.now();
-    }
-    if (tr != nullptr) {
-      tr->EndSpan(span, p.now());
-    }
-    co_return;
-  }
-
-  // Contended path: link behind the predecessor and spin on our own node.
-  if (site_ != nullptr) {
-    site_->EnterQueue();
-  }
-  if (variant_ == McsVariant::kOriginal) {
-    // I->locked := true.  H1/H2 keep the flag pre-set at rest.
-    co_await p.Store(*node.locked, 1);
-  }
-  co_await p.Store(*qnodes_[pred - 1].next, me);
-  while (true) {
-    const std::uint64_t locked = co_await p.Load(*node.locked);
-    co_await p.Exec(0, 1);
-    if (locked == 0) {
-      break;
-    }
-    // Pace the spin: kernel data is distributed across all modules, so a
-    // back-to-back load loop would monopolize this processor's own memory
-    // module and stall remote accesses to the data that happens to live here.
-    // The pause costs at most a microsecond of handoff latency.
-    co_await p.BackoffDelay(kLocalSpinPause);
-  }
-  if (variant_ != McsVariant::kOriginal) {
-    // Re-establish the rest-state invariant: the releaser cleared our flag.
-    // The store is absorbed by the write buffer (local word, nothing reads it
-    // until our next acquire), so modification 1 does not lengthen the
-    // handoff chain under contention.
-    p.PostStore(*node.locked, 1);
-  }
-  if (site_ != nullptr) {
-    site_->LeaveQueue();
-    site_->RecordAcquire(p.id(), p.now() - wait_start, /*contended=*/true);
-    hold_start_ = p.now();
-  }
-  if (tr != nullptr) {
-    tr->EndSpan(span, p.now());
-  }
-}
-
-Task<void> SimMcsLock::HandOff(Processor& p, std::uint64_t successor_id1) {
-  co_await p.Store(*qnodes_[successor_id1 - 1].locked, 0);
-}
-
-Task<void> SimMcsLock::Release(Processor& p) {
-  const std::uint64_t me = p.id() + 1;
-  QNode& node = qnodes_[p.id()];
-  if (site_ != nullptr) {
-    site_->RecordRelease(p.now() - hold_start_);
-  }
-  if (machine_->trace_enabled(hmetrics::kTraceLocks)) {
-    hmetrics::TraceSession* tr = machine_->trace();
-    const hmetrics::TraceSession::SpanId id =
-        tr->Instant(hmetrics::kTraceLocks, "lock/release", p.id(), p.now());
-    tr->AddArg(id, "lock", name());
-  }
-
-  std::uint64_t succ = kNil;
-  if (variant_ != McsVariant::kH2) {
-    // Original / H1: check for a known successor first.
-    succ = co_await p.Load(*node.next);
-    co_await p.Exec(0, 1);
-    if (succ != kNil) {
-      if (variant_ == McsVariant::kH1) {
-        p.PostStore(*node.next, kNil);  // re-init (contended path, write-buffered)
-      }
-      co_await HandOff(p, succ);
-      co_await p.Exec(1, 2);
-      co_return;
-    }
-  }
-
-  // Swap nil into the lock word.  If we were the tail, the lock is free and
-  // we are done -- this is the whole uncontended release for H2.
-  const std::uint64_t old_tail = co_await p.FetchStore(tail_, kNil);
-  co_await p.Exec(2, 2);
-  if (old_tail == me) {
-    co_return;
-  }
-
-  // Someone enqueued behind us (and under H2 possibly long ago): we have
-  // wrongly freed the lock, so repair the queue.  Any processor that swapped
-  // itself onto the nil lock word in the window believes it holds the lock
-  // (the "usurper"); restore the real tail and splice our waiters after it.
-  ++repairs_;
-  const std::uint64_t usurper = co_await p.FetchStore(tail_, old_tail);
-  while (succ == kNil) {
-    succ = co_await p.Load(*node.next);
-    co_await p.Exec(0, 1);
-    if (succ == kNil) {
-      co_await p.BackoffDelay(kLocalSpinPause);
-    }
-  }
-  if (variant_ != McsVariant::kOriginal) {
-    p.PostStore(*node.next, kNil);  // re-init (contended path, write-buffered)
-  }
-  co_await p.Exec(0, 1);
-  if (usurper != kNil) {
-    // The usurper chain runs first; append our waiters after its tail.
-    co_await p.Store(*qnodes_[usurper - 1].next, succ);
-  } else {
-    co_await HandOff(p, succ);
-  }
-  co_await p.Exec(1, 1);
-}
-
-std::string SimMcsLock::name() const {
-  switch (variant_) {
-    case McsVariant::kOriginal:
-      return "mcs";
-    case McsVariant::kH1:
-      return "h1-mcs";
-    case McsVariant::kH2:
-      return "h2-mcs";
-  }
-  return "mcs?";
-}
 
 const char* LockKindName(LockKind kind) {
   switch (kind) {
@@ -174,6 +16,12 @@ const char* LockKindName(LockKind kind) {
       return "h1-mcs";
     case LockKind::kMcsH2:
       return "h2-mcs";
+    case LockKind::kCna:
+      return "cna";
+    case LockKind::kHmcsT:
+      return "hmcs-t";
+    case LockKind::kFissile:
+      return "fissile";
   }
   return "?";
 }

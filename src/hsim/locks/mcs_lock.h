@@ -1,81 +1,50 @@
 // Distributed (queue) locks: the original Mellor-Crummey & Scott algorithm
 // and the paper's two HURRICANE modifications (Figure 3a/3b).
 //
-// HECTOR supports only atomic swap (fetch_and_store), so the release path is
-// the swap-only MCS variant: releasing may store nil into the lock word even
-// though a successor exists, in which case the queue must be repaired (the
-// "usurper" dance).  The paper's modifications:
-//
-//   H1: the per-processor queue node is initialized once, before first use,
-//       and re-initialized on the *contended* path whenever it is modified.
-//       This removes the `I->next := nil` store from the uncontended acquire.
-//
-//   H2: the `if I->next != nil` successor check is removed from release; the
-//       release always swaps nil into the lock word.  This removes a load
-//       and a branch from the uncontended release at the cost of a constant
-//       queue-repair overhead whenever there *is* a successor.
-//
-// Uncontended instruction counts match Figure 4 exactly:
-//   MCS    2 atomic / 2 mem / 3 reg / 5 br
-//   H1-MCS 2 atomic / 1 mem / 3 reg / 5 br
-//   H2-MCS 2 atomic / 0 mem / 3 reg / 4 br
-//
-// Waiters spin on the `locked` flag in their own queue node, which lives on
-// their local memory module: spinning generates no bus or ring traffic, which
-// is the whole point of Distributed Locks on a NUMA machine.
+// The algorithm bodies live in src/hlock/algo/mcs.h, written once over the
+// memory-backend concept; this is the simulator adapter binding them to
+// SimBackend (costed Processor accesses, NUMA word homes).  Uncontended
+// instruction counts match Figure 4 exactly -- see the core's header.
 
 #ifndef HSIM_LOCKS_MCS_LOCK_H_
 #define HSIM_LOCKS_MCS_LOCK_H_
 
 #include <string>
-#include <vector>
 
+#include "src/hlock/algo/mcs.h"
+#include "src/hsim/locks/sim_backend.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/types.h"
 
 namespace hsim {
 
-enum class McsVariant {
-  kOriginal,  // Figure 3a
-  kH1,        // first modification only
-  kH2,        // both modifications (Figure 3b)
-};
+// The simulator spells the variant enum the same way the core does.
+using McsVariant = hlock::algo::McsVariant;
 
 class SimMcsLock : public SimLock {
  public:
   // `home` is the module holding the lock (tail) word.  One queue node per
   // processor is allocated on that processor's local module.
-  SimMcsLock(Machine* machine, ModuleId home, McsVariant variant);
+  SimMcsLock(Machine* machine, ModuleId home, McsVariant variant)
+      : backend_(machine), core_(&backend_, variant, home) {}
 
-  Task<void> Acquire(Processor& p) override;
-  Task<void> Release(Processor& p) override;
-  std::string name() const override;
+  Task<void> Acquire(Processor& p) override { return core_.Acquire(p); }
+  Task<void> Release(Processor& p) override { return core_.Release(p); }
+  std::string name() const override { return core_.name(); }
 
-  McsVariant variant() const { return variant_; }
+  McsVariant variant() const { return core_.variant(); }
 
   // Number of times release had to repair the queue (swap-only release wrote
   // nil while a successor existed, or H2 skipped the successor check).
-  std::uint64_t repairs() const { return repairs_; }
+  std::uint64_t repairs() const { return core_.repairs(); }
+
+  void set_site(hprof::LockSiteStats* site) override { core_.set_site(site); }
+  hprof::LockSiteStats* site() const override { return core_.site(); }
 
  private:
-  struct QNode {
-    SimWord* next;    // successor's processor id + 1, or 0 (nil)
-    SimWord* locked;  // 1 while the owner must wait
-  };
-
-  static constexpr std::uint64_t kNil = 0;
-  // Pause between local spin loads, leaving most of the local memory
-  // module's bandwidth to remote requesters of co-located kernel data.
-  static constexpr Tick kLocalSpinPause = 16;
-
-  Task<void> HandOff(Processor& p, std::uint64_t successor_id1);
-
-  Machine* machine_;
-  SimWord& tail_;  // processor id + 1 of the queue tail, or 0 (free)
-  std::vector<QNode> qnodes_;
-  McsVariant variant_;
-  std::uint64_t repairs_ = 0;
+  SimBackend backend_;
+  hlock::algo::McsCore<SimBackend> core_;
 };
 
 }  // namespace hsim

@@ -1,0 +1,33 @@
+#include "src/hsim/locks/numa_lock.h"
+
+#include <memory>
+
+#include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/spin_lock.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+std::unique_ptr<SimLock> MakeSimLock(Machine* machine, LockKind kind, ModuleId home) {
+  switch (kind) {
+    case LockKind::kSpin35us:
+      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(35));
+    case LockKind::kSpin2ms:
+      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(2000));
+    case LockKind::kMcs:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kOriginal);
+    case LockKind::kMcsH1:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH1);
+    case LockKind::kMcsH2:
+      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH2);
+    case LockKind::kCna:
+      return std::make_unique<SimCnaLock>(machine, home);
+    case LockKind::kHmcsT:
+      return std::make_unique<SimHmcsTLock>(machine, home);
+    case LockKind::kFissile:
+      return std::make_unique<SimFissileLock>(machine, home);
+  }
+  return nullptr;
+}
+
+}  // namespace hsim

@@ -1,0 +1,114 @@
+// Simulated NUMA-aware locks: CNA, HMCS-T, and Fissile.
+//
+// The algorithm bodies live in src/hlock/algo/{cna,hmcs,fissile}.h, written
+// once over the memory-backend concept; these adapters bind them to
+// SimBackend (costed Processor accesses, NUMA word homes, station-of-module
+// cluster topology).  On HECTOR the cluster of a processor is its station,
+// so CNA's secondary queue parks off-station waiters and HMCS-T runs one
+// local level per station.
+
+#ifndef HSIM_LOCKS_NUMA_LOCK_H_
+#define HSIM_LOCKS_NUMA_LOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/hlock/algo/cna.h"
+#include "src/hlock/algo/fissile.h"
+#include "src/hlock/algo/hmcs.h"
+#include "src/hsim/locks/sim_backend.h"
+#include "src/hsim/locks/sim_lock.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+#include "src/hsim/types.h"
+
+namespace hsim {
+
+class SimCnaLock : public SimLock {
+ public:
+  SimCnaLock(Machine* machine, ModuleId home,
+             std::uint64_t max_streak =
+                 hlock::algo::CnaCore<SimBackend>::kDefaultMaxStreak)
+      : backend_(machine), core_(&backend_, home, max_streak) {}
+
+  Task<void> Acquire(Processor& p) override { return core_.Acquire(p); }
+  Task<void> Release(Processor& p) override { return core_.Release(p); }
+  std::string name() const override { return core_.name(); }
+
+  std::uint64_t max_streak() const { return core_.max_streak(); }
+
+  void set_site(hprof::LockSiteStats* site) override { core_.set_site(site); }
+  hprof::LockSiteStats* site() const override { return core_.site(); }
+
+ private:
+  SimBackend backend_;
+  hlock::algo::CnaCore<SimBackend> core_;
+};
+
+class SimHmcsTLock : public SimLock {
+ public:
+  SimHmcsTLock(Machine* machine, ModuleId home,
+               std::uint64_t threshold =
+                   hlock::algo::HmcsTCore<SimBackend>::kDefaultThreshold)
+      : backend_(machine), core_(&backend_, home, threshold) {}
+
+  Task<void> Acquire(Processor& p) override {
+    co_await core_.AcquireBlocking(p);
+  }
+  Task<void> Release(Processor& p) override { return core_.Release(p); }
+  std::string name() const override { return core_.name(); }
+
+  // Timed acquire: gives up after `budget` simulated ticks.  Returns false
+  // without holding the lock or leaving a queue node behind.
+  Task<bool> AcquireFor(Processor& p, Tick budget) {
+    SimBackend::Deadline deadline = backend_.MakeDeadline(p, budget);
+    co_return co_await core_.Acquire(p, deadline);
+  }
+
+  std::uint64_t threshold() const { return core_.threshold(); }
+  std::uint64_t abandoned_nodes_reclaimed() {
+    std::uint64_t n = core_.global_level().abandoned_nodes_reclaimed();
+    for (std::uint32_t c = 0; c < backend_.NumClusters(); ++c) {
+      n += core_.local_level(c).abandoned_nodes_reclaimed();
+    }
+    return n;
+  }
+
+  void set_site(hprof::LockSiteStats* site) override { core_.set_site(site); }
+  hprof::LockSiteStats* site() const override { return core_.site(); }
+
+ private:
+  SimBackend backend_;
+  hlock::algo::HmcsTCore<SimBackend> core_;
+};
+
+class SimFissileLock : public SimLock {
+ public:
+  SimFissileLock(Machine* machine, ModuleId home,
+                 std::uint32_t fast_attempts =
+                     hlock::algo::FissileCore<SimBackend>::kDefaultFastAttempts)
+      : backend_(machine), core_(&backend_, home, fast_attempts) {}
+
+  Task<void> Acquire(Processor& p) override { return core_.Acquire(p); }
+  Task<void> Release(Processor& p) override { return core_.Release(p); }
+  std::string name() const override { return core_.name(); }
+
+  std::uint32_t fast_attempts() const { return core_.fast_attempts(); }
+
+  void set_site(hprof::LockSiteStats* site) override { core_.set_site(site); }
+  hprof::LockSiteStats* site() const override { return core_.site(); }
+
+ private:
+  SimBackend backend_;
+  hlock::algo::FissileCore<SimBackend> core_;
+};
+
+// Central factory over LockKind: every harness that races the lock family
+// (kernel coarse locks, stress drivers, benches, property tests) builds its
+// lock here, so a new algorithm lands everywhere at once.
+std::unique_ptr<SimLock> MakeSimLock(Machine* machine, LockKind kind, ModuleId home);
+
+}  // namespace hsim
+
+#endif  // HSIM_LOCKS_NUMA_LOCK_H_

@@ -1,53 +1,51 @@
 #include "src/hsim/locks/reserve_bit.h"
 
-#include <algorithm>
+#include "src/hlock/algo/reserve.h"
+#include "src/hsim/locks/sim_backend.h"
 
 namespace hsim {
 
+// The state machine lives in src/hlock/algo/reserve.h, shared with the
+// native HybridTable; these wrappers bind it to raw SimWords embedded in
+// kernel descriptors.  The reserve operations never consult the Machine
+// (no allocation, no topology, no tracing), so a word-only backend view
+// suffices.
+namespace {
+using Core = hlock::algo::ReserveCore<SimBackend>;
+
+SimBackend WordOnlyBackend() { return SimBackend(nullptr); }
+}  // namespace
+
 Task<bool> SimReserve::TrySetExclusive(Processor& p, SimWord& word) {
-  const std::uint64_t state = co_await p.Load(word);
-  co_await p.Exec(0, 1);
-  if (state != kFree) {
-    co_return false;
-  }
-  co_await p.Store(word, kExclusive);
-  co_return true;
+  SimBackend b = WordOnlyBackend();
+  SimBackend::Word w = SimBackend::FromRaw(word);
+  co_return co_await Core::TrySetExclusive(b, p, w);
 }
 
 Task<bool> SimReserve::TryAddReader(Processor& p, SimWord& word) {
-  const std::uint64_t state = co_await p.Load(word);
-  co_await p.Exec(1, 1);
-  if (state == kExclusive) {
-    co_return false;
-  }
-  co_await p.Store(word, state + 1);
-  co_return true;
+  SimBackend b = WordOnlyBackend();
+  SimBackend::Word w = SimBackend::FromRaw(word);
+  co_return co_await Core::TryAddReader(b, p, w);
 }
 
 Task<void> SimReserve::RemoveReader(Processor& p, SimWord& word) {
-  const std::uint64_t state = co_await p.Load(word);
-  co_await p.Exec(1, 0);
-  co_await p.Store(word, state - 1);
+  SimBackend b = WordOnlyBackend();
+  SimBackend::Word w = SimBackend::FromRaw(word);
+  co_await Core::RemoveReader(b, p, w);
 }
 
 Task<std::uint64_t> SimReserve::Read(Processor& p, SimWord& word) { return p.Load(word); }
 
 Task<void> SimReserve::ClearExclusive(Processor& p, SimWord& word) {
-  co_await p.Store(word, kFree);
+  SimBackend b = WordOnlyBackend();
+  SimBackend::Word w = SimBackend::FromRaw(word);
+  co_await Core::ClearExclusive(b, p, w);
 }
 
 Task<void> SimReserve::SpinUntilFree(Processor& p, SimWord& word, Tick max_backoff) {
-  Tick delay = 8;
-  while (true) {
-    const std::uint64_t state = co_await p.Load(word);
-    co_await p.Exec(0, 1);
-    if (state == kFree) {
-      co_return;
-    }
-    const Tick jittered = delay / 2 + p.rng().NextBelow(delay / 2 + 1);
-    co_await p.BackoffDelay(jittered);
-    delay = std::min(delay * 2, max_backoff);
-  }
+  SimBackend b = WordOnlyBackend();
+  SimBackend::Word w = SimBackend::FromRaw(word);
+  co_await Core::SpinUntilFree(b, p, w, max_backoff);
 }
 
 }  // namespace hsim

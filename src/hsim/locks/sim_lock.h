@@ -31,9 +31,11 @@ class SimLock {
 
   // Attaches a profiling site (null detaches).  Recording observes simulated
   // time but never advances it: a profiled run is tick-identical to an
-  // unprofiled one.  Wait/hold samples are in ticks.
-  void set_site(hprof::LockSiteStats* site) { site_ = site; }
-  hprof::LockSiteStats* site() const { return site_; }
+  // unprofiled one.  Wait/hold samples are in ticks.  Virtual so adapters
+  // over the shared algorithm cores (src/hlock/algo/) can forward the site
+  // into the core.
+  virtual void set_site(hprof::LockSiteStats* site) { site_ = site; }
+  virtual hprof::LockSiteStats* site() const { return site_; }
 
  protected:
   hprof::LockSiteStats* site_ = nullptr;
@@ -47,6 +49,9 @@ enum class LockKind {
   kMcs,        // unmodified Mellor-Crummey & Scott
   kMcsH1,      // MCS + modification 1 (no qnode init on the acquire path)
   kMcsH2,      // H1 + modification 2 (no successor check in release)
+  kCna,        // compact NUMA-aware MCS (secondary queue of remote waiters)
+  kHmcsT,      // hierarchical MCS (per-station level) with timeout
+  kFissile,    // fast-path TAS over an MCS slow path
 };
 
 const char* LockKindName(LockKind kind);

@@ -1,21 +1,17 @@
 // Test-and-set spin lock with exponential backoff (Figure 3c).
 //
-// acquire:  while test_and_set(L) == locked: delay; delay *= 2 (capped)
-// release:  swap(L, 0)
-//
-// HECTOR's only atomic primitive is swap, so both the test-and-set and the
-// release are atomic swaps (two memory accesses each at the lock's home
-// module).  Uncontended instruction cost matches Figure 4's "Spin" row:
-// 2 atomic, 0 memory, 1 register, 3 branch instructions per lock/unlock pair.
-//
-// Under contention every retry crosses the interconnect, which is precisely
-// the source of the second-order effects the Distributed Locks avoid.
+// The algorithm body lives in src/hlock/algo/spin.h, written once over the
+// memory-backend concept; this is the simulator adapter binding it to
+// SimBackend.  Uncontended instruction cost matches Figure 4's "Spin" row --
+// see the core's header.
 
 #ifndef HSIM_LOCKS_SPIN_LOCK_H_
 #define HSIM_LOCKS_SPIN_LOCK_H_
 
 #include <string>
 
+#include "src/hlock/algo/spin.h"
+#include "src/hsim/locks/sim_backend.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/types.h"
@@ -27,27 +23,30 @@ class SimSpinLock : public SimLock {
   // `home` is the memory module holding the lock word.  `max_backoff` caps the
   // exponential backoff (the paper evaluates 35 us and 2 ms caps).
   SimSpinLock(Machine* machine, ModuleId home, Tick max_backoff,
-              Tick base_backoff = kDefaultBaseBackoff);
+              Tick base_backoff = kDefaultBaseBackoff)
+      : backend_(machine),
+        core_(&backend_, home, max_backoff, base_backoff,
+              "spin(backoff<=" + std::to_string(TicksToUs(max_backoff)) + "us)") {}
 
-  Task<void> Acquire(Processor& p) override;
-  Task<void> Release(Processor& p) override;
-  std::string name() const override;
+  Task<void> Acquire(Processor& p) override { return core_.Acquire(p); }
+  Task<void> Release(Processor& p) override { return core_.Release(p); }
+  std::string name() const override { return core_.name(); }
 
-  Tick max_backoff() const { return max_backoff_; }
+  Tick max_backoff() const { return core_.max_backoff(); }
 
   // Contention statistics.
-  std::uint64_t acquisitions() const { return acquisitions_; }
-  std::uint64_t retries() const { return retries_; }
+  std::uint64_t acquisitions() const { return core_.acquisitions(); }
+  std::uint64_t retries() const { return core_.retries(); }
 
-  static constexpr Tick kDefaultBaseBackoff = 4;  // a handful of instructions
+  void set_site(hprof::LockSiteStats* site) override { core_.set_site(site); }
+  hprof::LockSiteStats* site() const override { return core_.site(); }
+
+  static constexpr Tick kDefaultBaseBackoff =
+      hlock::algo::SpinCore<SimBackend>::kDefaultBaseBackoff;
 
  private:
-  Machine* machine_;
-  SimWord& word_;
-  Tick max_backoff_;
-  Tick base_backoff_;
-  std::uint64_t acquisitions_ = 0;
-  std::uint64_t retries_ = 0;
+  SimBackend backend_;
+  hlock::algo::SpinCore<SimBackend> core_;
 };
 
 }  // namespace hsim

@@ -7,28 +7,13 @@
 
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/spin_lock.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/task.h"
 
 namespace hsim {
 namespace {
-
-std::unique_ptr<SimLock> MakeLock(Machine* machine, LockKind kind, ModuleId home) {
-  switch (kind) {
-    case LockKind::kSpin35us:
-      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(35));
-    case LockKind::kSpin2ms:
-      return std::make_unique<SimSpinLock>(machine, home, UsToTicks(2000));
-    case LockKind::kMcs:
-      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kOriginal);
-    case LockKind::kMcsH1:
-      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH1);
-    case LockKind::kMcsH2:
-      return std::make_unique<SimMcsLock>(machine, home, McsVariant::kH2);
-  }
-  return nullptr;
-}
 
 struct Shared {
   SimLock* lock;
@@ -67,7 +52,7 @@ LockStressResult RunLockStress(const LockStressParams& params) {
   Engine engine;
   Machine machine(&engine, params.machine);
   machine.set_trace(params.trace);
-  std::unique_ptr<SimLock> lock = MakeLock(&machine, params.kind, params.lock_home);
+  std::unique_ptr<SimLock> lock = MakeSimLock(&machine, params.kind, params.lock_home);
   lock->set_site(params.site);
 
   LockStressResult result;
@@ -158,13 +143,13 @@ ProfiledContentionResult RunProfiledContention(const ProfiledContentionParams& p
 
   // The shared lock lives on module 0 (cluster 0's memory): every other
   // cluster pays ring crossings to reach it, exactly the Figure 5 setup.
-  std::unique_ptr<SimLock> shared = MakeLock(&machine, params.kind, /*home=*/0);
+  std::unique_ptr<SimLock> shared = MakeSimLock(&machine, params.kind, /*home=*/0);
   if (sites != nullptr) {
     shared->set_site(&sites->AddSite("kernel/shared", ppc));
   }
   std::vector<std::unique_ptr<SimLock>> locals;
   for (std::uint32_t s = 0; s < params.machine.stations; ++s) {
-    locals.push_back(MakeLock(&machine, params.kind, /*home=*/s * ppc));
+    locals.push_back(MakeSimLock(&machine, params.kind, /*home=*/s * ppc));
     if (sites != nullptr) {
       locals.back()->set_site(
           &sites->AddSite("cluster" + std::to_string(s) + "/local", ppc));
@@ -188,7 +173,7 @@ double UncontendedPairLatencyUs(LockKind kind, int rounds) {
   Machine machine(&engine, MachineConfig{});
   // Kernel locks are rarely local to the requester: place the lock word one
   // ring hop away from the measuring processor.
-  std::unique_ptr<SimLock> lock = MakeLock(&machine, kind, /*home=*/4);
+  std::unique_ptr<SimLock> lock = MakeSimLock(&machine, kind, /*home=*/4);
   Tick total = 0;
   engine.Spawn([](Processor* p, SimLock* l, int n, Tick* out) -> Task<void> {
     // Warm-up pair.

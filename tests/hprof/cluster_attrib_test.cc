@@ -1,0 +1,113 @@
+// Exact (enqueue-time) cluster attribution for hierarchical locks.
+//
+// The id-division convention (owner / procs_per_cluster) is right for flat
+// locks whose owner ids are dense processor ids, but a hierarchical lock
+// knows each waiter's real cluster from its own queue nodes — and the two
+// can disagree (native thread ids, kernel worker ids, migrated processes).
+// The explicit-cluster RecordAcquire overload and EnterQueue(cluster) let
+// the lock report what it knows; these tests pin that the explicit cluster
+// wins over the derived one, and a golden file pins the lockprof export
+// schema carrying the attribution (per-cluster "enqueues" included).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/hprof/lock_site.h"
+
+namespace {
+
+using hprof::Handoff;
+using hprof::LockSiteStats;
+using hprof::SiteTable;
+
+// The canned session: one hierarchical lock whose owner ids would classify
+// wrongly under id-division (owner 5 lives in cluster 0, not id-cluster 1).
+void FillCannedTable(SiteTable* table) {
+  LockSiteStats& site = table->AddSite("svc/hierarchical", /*procs_per_cluster=*/4);
+
+  // Owner 0, cluster 0: first grant, no handoff.
+  site.EnterQueue(0);
+  site.RecordAcquire(/*owner=*/0, /*wait=*/160, /*contended=*/true, /*cluster=*/0);
+  site.LeaveQueue();
+  site.RecordRelease(/*hold=*/32);
+
+  // Owner 5 is in cluster 0 as the lock knows it (id-division would say
+  // cluster 1): the 0 -> 5 handoff must count as same-cluster.
+  site.EnterQueue(0);
+  site.RecordAcquire(5, 320, true, 0);
+  site.LeaveQueue();
+  site.RecordRelease(64);
+
+  // Owner 12, cluster 3: cross-cluster, uncontended (no enqueue).
+  site.RecordAcquire(12, 0, false, 3);
+  site.RecordRelease(16);
+
+  // Owner 12 re-acquires: same-processor whatever the clusters say.
+  site.EnterQueue(3);
+  site.RecordAcquire(12, 80, true, 3);
+  site.LeaveQueue();
+  site.RecordRelease(16);
+}
+
+TEST(ClusterAttribution, ExplicitClusterOverridesIdDivision) {
+  SiteTable table(/*ticks_per_us=*/16.0);
+  FillCannedTable(&table);
+  const LockSiteStats& site = table.site(0);
+
+  EXPECT_EQ(site.acquisitions(), 4u);
+  EXPECT_EQ(site.contended(), 3u);
+  // 0 -> 5 is same-cluster by the lock's attribution; Classify() on the raw
+  // ids would have called it cross-cluster.
+  EXPECT_EQ(site.handoffs(Handoff::kSameCluster), 1u);
+  EXPECT_EQ(LockSiteStats::Classify(0, 5, 4), Handoff::kCrossCluster);
+  EXPECT_EQ(site.handoffs(Handoff::kCrossCluster), 1u);  // 5 -> 12
+  EXPECT_EQ(site.handoffs(Handoff::kSameProcessor), 1u); // 12 -> 12
+
+  // Enqueue-time capture: cluster 0 waited twice, cluster 3 once; the
+  // uncontended grant never entered the queue.
+  ASSERT_EQ(site.by_cluster().size(), 2u);
+  EXPECT_EQ(site.by_cluster().at(0).acquisitions, 2u);
+  EXPECT_EQ(site.by_cluster().at(0).enqueues, 2u);
+  EXPECT_EQ(site.by_cluster().at(3).acquisitions, 2u);
+  EXPECT_EQ(site.by_cluster().at(3).enqueues, 1u);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "cannot open " << path;
+  if (f == nullptr) {
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+// The golden file pins the hurricane-lockprof/1 export for the canned
+// session, including the per-cluster "enqueues" field.  Regenerate (after
+// inspecting the diff!) by setting HPROF_WRITE_GOLDEN=1 in the environment
+// and re-running this test.
+TEST(ClusterAttribution, LockProfExportMatchesGolden) {
+  SiteTable table(/*ticks_per_us=*/16.0);
+  FillCannedTable(&table);
+  const std::string json = table.ToJson() + "\n";
+  const std::string path =
+      std::string(HPROF_TESTDATA_DIR) + "/cluster_attrib_lockprof.json";
+  if (std::getenv("HPROF_WRITE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(json, ReadFileOrDie(path));
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/locks/spin_lock.h"
 #include "src/hsim/machine.h"
@@ -25,29 +26,13 @@ namespace {
 
 using Param = std::tuple<LockKind, std::uint32_t /*procs*/, Tick /*hold*/>;
 
-std::unique_ptr<SimLock> MakeLock(Machine* m, LockKind kind) {
-  switch (kind) {
-    case LockKind::kSpin35us:
-      return std::make_unique<SimSpinLock>(m, 0, UsToTicks(35));
-    case LockKind::kSpin2ms:
-      return std::make_unique<SimSpinLock>(m, 0, UsToTicks(2000));
-    case LockKind::kMcs:
-      return std::make_unique<SimMcsLock>(m, 0, McsVariant::kOriginal);
-    case LockKind::kMcsH1:
-      return std::make_unique<SimMcsLock>(m, 0, McsVariant::kH1);
-    case LockKind::kMcsH2:
-      return std::make_unique<SimMcsLock>(m, 0, McsVariant::kH2);
-  }
-  return nullptr;
-}
-
 class SimLockSweep : public ::testing::TestWithParam<Param> {};
 
 TEST_P(SimLockSweep, Invariants) {
   const auto [kind, procs, hold] = GetParam();
   Engine engine;
   Machine machine(&engine, MachineConfig{});
-  auto lock = MakeLock(&machine, kind);
+  auto lock = MakeSimLock(&machine, kind, 0);
 
   struct State {
     int inside = 0;
@@ -84,7 +69,8 @@ TEST_P(SimLockSweep, Invariants) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, SimLockSweep,
     ::testing::Combine(::testing::Values(LockKind::kSpin35us, LockKind::kSpin2ms, LockKind::kMcs,
-                                         LockKind::kMcsH1, LockKind::kMcsH2),
+                                         LockKind::kMcsH1, LockKind::kMcsH2, LockKind::kCna,
+                                         LockKind::kHmcsT, LockKind::kFissile),
                        ::testing::Values(1u, 3u, 7u, 16u),
                        ::testing::Values(Tick(0), Tick(120))),
     [](const ::testing::TestParamInfo<Param>& info) {

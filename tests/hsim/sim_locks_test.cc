@@ -10,6 +10,7 @@
 
 #include "src/hsim/engine.h"
 #include "src/hsim/locks/mcs_lock.h"
+#include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/reserve_bit.h"
 #include "src/hsim/locks/sim_lock.h"
 #include "src/hsim/locks/spin_lock.h"
@@ -41,28 +42,12 @@ Task<void> CriticalLoop(Processor* p, SimLock* lock, CsState* cs, int iterations
   }
 }
 
-std::unique_ptr<SimLock> MakeLock(Machine* m, LockKind kind) {
-  switch (kind) {
-    case LockKind::kSpin35us:
-      return std::make_unique<SimSpinLock>(m, /*home=*/0, UsToTicks(35));
-    case LockKind::kSpin2ms:
-      return std::make_unique<SimSpinLock>(m, /*home=*/0, UsToTicks(2000));
-    case LockKind::kMcs:
-      return std::make_unique<SimMcsLock>(m, /*home=*/0, McsVariant::kOriginal);
-    case LockKind::kMcsH1:
-      return std::make_unique<SimMcsLock>(m, /*home=*/0, McsVariant::kH1);
-    case LockKind::kMcsH2:
-      return std::make_unique<SimMcsLock>(m, /*home=*/0, McsVariant::kH2);
-  }
-  return nullptr;
-}
-
 class SimLockProperty : public ::testing::TestWithParam<LockKind> {};
 
 TEST_P(SimLockProperty, MutualExclusionUnderFullContention) {
   Engine engine;
   Machine machine(&engine, MachineConfig{});
-  auto lock = MakeLock(&machine, GetParam());
+  auto lock = MakeSimLock(&machine, GetParam(), 0);
   CsState cs;
   const int kIters = 40;
   for (ProcId p = 0; p < machine.num_processors(); ++p) {
@@ -76,7 +61,7 @@ TEST_P(SimLockProperty, MutualExclusionUnderFullContention) {
 TEST_P(SimLockProperty, MutualExclusionWithZeroHoldTime) {
   Engine engine;
   Machine machine(&engine, MachineConfig{});
-  auto lock = MakeLock(&machine, GetParam());
+  auto lock = MakeSimLock(&machine, GetParam(), 0);
   CsState cs;
   for (ProcId p = 0; p < 8; ++p) {
     engine.Spawn(CriticalLoop(&machine.processor(p), lock.get(), &cs, 60, /*hold=*/0));
@@ -88,7 +73,8 @@ TEST_P(SimLockProperty, MutualExclusionWithZeroHoldTime) {
 
 INSTANTIATE_TEST_SUITE_P(AllLockKinds, SimLockProperty,
                          ::testing::Values(LockKind::kSpin35us, LockKind::kSpin2ms, LockKind::kMcs,
-                                           LockKind::kMcsH1, LockKind::kMcsH2),
+                                           LockKind::kMcsH1, LockKind::kMcsH2, LockKind::kCna,
+                                           LockKind::kHmcsT, LockKind::kFissile),
                          [](const ::testing::TestParamInfo<LockKind>& info) {
                            std::string n = LockKindName(info.param);
                            for (char& c : n) {
@@ -158,7 +144,7 @@ struct Fig4Row {
 Fig4Row CountUncontendedPair(LockKind kind) {
   Engine engine;
   Machine machine(&engine, MachineConfig{});
-  auto lock = MakeLock(&machine, kind);
+  auto lock = MakeSimLock(&machine, kind, 0);
   Processor& p = machine.processor(0);
   // Warm-up pass (H1/H2 pre-initialization is part of lock construction, but
   // a warm-up also catches any accidental first-use cost).
