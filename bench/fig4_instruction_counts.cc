@@ -45,6 +45,34 @@ hsim::OpStats CountPair(LockKind kind) {
   return p.stats() - before;
 }
 
+hsim::Task<void> OneSharedPair(hsim::Processor* p, hsim::SimDrwLock* lock) {
+  co_await lock->AcquireShared(*p);
+  co_await lock->ReleaseShared(*p);
+}
+
+// Uncontended reader or writer pair on the distributed RW lock (4-station
+// default machine, so the writer sweep reads 4 cluster counters).
+hsim::OpStats CountDrwPair(bool shared) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  hsim::SimDrwLock lock(&machine, /*home=*/0);
+  hsim::Processor& p = machine.processor(0);
+  if (shared) {
+    engine.Spawn(OneSharedPair(&p, &lock));  // warm-up pair
+  } else {
+    engine.Spawn(OnePair(&p, &lock));
+  }
+  engine.RunUntilIdle();
+  const hsim::OpStats before = p.stats();
+  if (shared) {
+    engine.Spawn(OneSharedPair(&p, &lock));
+  } else {
+    engine.Spawn(OnePair(&p, &lock));
+  }
+  engine.RunUntilIdle();
+  return p.stats() - before;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +112,41 @@ int main(int argc, char** argv) {
                    {"br", static_cast<double>(measured[3])},
                    {"matches_paper", row_match ? 1.0 : 0.0}});
   }
+  // Beyond the paper: the distributed RW lock's uncontended pairs, pinned
+  // against counts derived from the code path (no paper column exists).
+  // Reader pair: CAS-bump own counter (1 load + 1 atomic, 1 reg, 1 br), flag
+  // load (+1 branch), CAS-drop (1 load + 1 atomic, 1 reg, 1 br).  Writer
+  // pair: wmutex CAS, flag store, 4 sweep loads (+1 branch each), then two
+  // release stores (+1 branch).
+  printf("\ndistributed RW lock (derived expected values in parentheses)\n");
+  struct DrwRow {
+    const char* name;
+    bool shared;
+    int expected[4];
+  };
+  const DrwRow drw_rows[] = {
+      {"DRW-read", true, {2, 3, 2, 3}},
+      {"DRW-write", false, {1, 7, 1, 6}},
+  };
+  for (const DrwRow& row : drw_rows) {
+    const hsim::OpStats d = CountDrwPair(row.shared);
+    const std::uint64_t measured[4] = {d.atomic_ops, d.mem_accesses(), d.reg_instrs, d.branches};
+    printf("%-9s", row.name);
+    bool row_match = true;
+    for (int i = 0; i < 4; ++i) {
+      printf("      %4llu (%d)", static_cast<unsigned long long>(measured[i]), row.expected[i]);
+      row_match &= measured[i] == static_cast<std::uint64_t>(row.expected[i]);
+    }
+    all_match &= row_match;
+    printf("\n");
+    report.AddSeries("instruction_counts", {{"lock", row.name}})
+        .AddPoint({{"atomic", static_cast<double>(measured[0])},
+                   {"mem", static_cast<double>(measured[1])},
+                   {"reg", static_cast<double>(measured[2])},
+                   {"br", static_cast<double>(measured[3])},
+                   {"matches_paper", row_match ? 1.0 : 0.0}});
+  }
+
   printf("\n%s\n", all_match ? "All rows match the paper exactly."
                              : "MISMATCH against the paper's table!");
   if (!hmetrics::WriteReport(opts, report)) {

@@ -37,12 +37,20 @@ namespace hcluster {
 template <typename K, typename V, typename Hash = std::hash<K>>
 class ClusteredTable {
  public:
-  explicit ClusteredTable(ClusterRuntime* runtime, std::size_t buckets_per_cluster = 128)
+  // `read_path` selects how replica readers reach a chain (see
+  // hlock::ReadPath): kDistributed (default) gives each worker cluster its
+  // own reader counter on the replica's table-level RW lock, so combined
+  // reads on *different* keys proceed in parallel instead of serializing on
+  // the replica's coarse lock; kCoarse preserves the serializing path (the
+  // read-heavy benches race the two).
+  explicit ClusteredTable(ClusterRuntime* runtime, std::size_t buckets_per_cluster = 128,
+                          hlock::ReadPath read_path = hlock::ReadPath::kDistributed)
       : runtime_(runtime) {
     const std::uint32_t n = runtime_->topology().num_clusters();
+    const std::uint32_t per_cluster = runtime_->topology().cluster_size;
     replicas_.reserve(n);
     for (std::uint32_t c = 0; c < n; ++c) {
-      replicas_.push_back(std::make_unique<Replica>(buckets_per_cluster));
+      replicas_.push_back(std::make_unique<Replica>(buckets_per_cluster, per_cluster, read_path));
     }
   }
 
@@ -192,8 +200,11 @@ class ClusteredTable {
     return replicas_[my_cluster]->table.Erase(key);
   }
 
-  // Attaches two profiling sites per cluster replica to `sites`: the coarse
-  // table lock and the reserve-word (fine-grain) site.  Wait/hold samples are
+  // Attaches four profiling sites per cluster replica to `sites`: the coarse
+  // table lock, the reserve-word (fine-grain) site, and the distributed RW
+  // chain lock's reader and writer sides (reader holds = chain walks, writer
+  // holds = chain-mutation sweeps; the reader site's per-cluster enqueues
+  // show which clusters' readers a sweep held up).  Wait/hold samples are
   // host nanoseconds; owner ids are dense thread ids, so the per-cluster
   // handoff split is an approximation of the worker topology.  Call before
   // traffic; `sites` must outlive the table's use.
@@ -203,6 +214,8 @@ class ClusteredTable {
       const std::string base = prefix + ".replica" + std::to_string(c);
       replicas_[c]->table.coarse_lock().set_site(&sites->AddSite(base + ".coarse", per_cluster));
       replicas_[c]->table.set_reserve_site(&sites->AddSite(base + ".reserve", per_cluster));
+      replicas_[c]->table.set_chain_sites(&sites->AddSite(base + ".chain.reader", per_cluster),
+                                          &sites->AddSite(base + ".chain.writer", per_cluster));
     }
   }
 
@@ -219,7 +232,8 @@ class ClusteredTable {
   };
 
   struct Replica {
-    explicit Replica(std::size_t buckets) : table(buckets) {}
+    Replica(std::size_t buckets, std::uint32_t procs_per_cluster, hlock::ReadPath read_path)
+        : table(buckets, procs_per_cluster, read_path) {}
     hlock::HybridTable<K, Entry> table;
     std::atomic<std::uint64_t> hits{0};
   };

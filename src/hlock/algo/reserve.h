@@ -89,6 +89,57 @@ struct ReserveCore {
     co_return co_await b.Load(ctx, word, std::memory_order_acquire);
   }
 
+  // --- atomic (coarse-lock-free) transition family ---
+  //
+  // Once *any* reserve transition happens outside the coarse lock -- the
+  // hybrid table's distributed-RW read path lets readers enter and leave
+  // without it -- every transition on that word must be a real
+  // read-modify-write: a plain load+store TrySetExclusive racing a CAS
+  // increment would silently erase the reader.  The plain-store family above
+  // stays exactly as the paper wrote it (HECTOR has no CAS; the simulated
+  // kernel keeps Figure 4's instruction counts), and callers pick one family
+  // per word, never mix.
+
+  static TaskT<bool> TrySetExclusiveAtomic(B& b, Ctx& ctx, Word& word) {
+    const bool won = co_await b.CompareSwap(ctx, word, kFree, kExclusive,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed);
+    co_await b.Exec(ctx, 0, 1);
+    co_return won;
+  }
+
+  static TaskT<bool> TryAddReaderAtomic(B& b, Ctx& ctx, Word& word) {
+    while (true) {
+      const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_relaxed);
+      co_await b.Exec(ctx, 1, 1);
+      if (state == kExclusive) {
+        co_return false;
+      }
+      B::Check(state + 1 != kExclusive, "reserve reader count saturated into kExclusive");
+      if (co_await b.CompareSwap(ctx, word, state, state + 1,
+                                 std::memory_order_acquire,
+                                 std::memory_order_relaxed)) {
+        co_return true;
+      }
+      // Lost the race to another reader or a writer: re-read and retry
+      // (bounded in practice by the reader population).
+    }
+  }
+
+  static TaskT<void> RemoveReaderAtomic(B& b, Ctx& ctx, Word& word) {
+    while (true) {
+      const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_relaxed);
+      co_await b.Exec(ctx, 1, 1);
+      B::Check(state != kFree && state != kExclusive,
+               "reserve reader release without a reader hold");
+      if (co_await b.CompareSwap(ctx, word, state, state - 1,
+                                 std::memory_order_release,
+                                 std::memory_order_relaxed)) {
+        co_return;
+      }
+    }
+  }
+
   // --- operations performed without the coarse lock ---
 
   // The exclusive holder clears its reservation with a plain (release) store.
@@ -96,23 +147,49 @@ struct ReserveCore {
     co_await b.Store(ctx, word, kFree, std::memory_order_release);
   }
 
+  // Backoff state for the spin protocols.  One *logical* acquire attempt may
+  // call SpinUntilFree several times -- the hybrid table re-takes the coarse
+  // lock, loses the race, and spins again -- and the doubling delay must
+  // survive those round trips: re-arming it at kBaseBackoff on every retry
+  // (the pre-unification behaviour of the simulated kernel's hand-rolled
+  // loop, and of any caller that loops around the one-shot helpers) turns
+  // the cap into dead code and hammers a contended word at base delay
+  // forever.  Arm one Backoff per logical acquire and pass it through every
+  // retry; it only resets when the caller's acquire completes.
+  struct Backoff {
+    std::uint64_t delay = kBaseBackoff;
+  };
+
   // Spins (with jittered exponential backoff capped at `max_backoff`) until
   // the word is observed free.  The caller then re-acquires the coarse lock
-  // and re-checks; this helper alone guarantees nothing.
-  static TaskT<void> SpinUntilFree(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff) {
-    co_await SpinUntil(b, ctx, word, max_backoff, /*until_free=*/true);
+  // and re-checks; this helper alone guarantees nothing.  `bo` persists the
+  // doubling delay across retries of the same logical acquire.
+  static TaskT<void> SpinUntilFree(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff,
+                                   Backoff& bo) {
+    co_await SpinUntil(b, ctx, word, max_backoff, bo, /*until_free=*/true);
   }
 
   // Spins until the word is observed *not exclusively* reserved (reader
   // admission); same caveats as SpinUntilFree.
+  static TaskT<void> SpinWhileExclusive(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff,
+                                        Backoff& bo) {
+    co_await SpinUntil(b, ctx, word, max_backoff, bo, /*until_free=*/false);
+  }
+
+  // One-shot conveniences for callers whose retry loop is the spin itself
+  // (no coarse-lock round trip, so nothing outlives the call).
+  static TaskT<void> SpinUntilFree(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff) {
+    Backoff bo;
+    co_await SpinUntil(b, ctx, word, max_backoff, bo, /*until_free=*/true);
+  }
   static TaskT<void> SpinWhileExclusive(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff) {
-    co_await SpinUntil(b, ctx, word, max_backoff, /*until_free=*/false);
+    Backoff bo;
+    co_await SpinUntil(b, ctx, word, max_backoff, bo, /*until_free=*/false);
   }
 
  private:
   static TaskT<void> SpinUntil(B& b, Ctx& ctx, Word& word, std::uint64_t max_backoff,
-                               bool until_free) {
-    std::uint64_t delay = kBaseBackoff;
+                               Backoff& bo, bool until_free) {
     while (true) {
       const std::uint64_t state = co_await b.Load(ctx, word, std::memory_order_acquire);
       co_await b.Exec(ctx, 0, 1);
@@ -121,9 +198,13 @@ struct ReserveCore {
       }
       // Jitter desynchronizes waiters that were released in a convoy; the
       // doubling cap bounds the worst-case reaction time to a free word.
+      // The cap clamps the delay itself (not just the growth): a caller may
+      // pass a non-power-of-two cap, which the doubling would otherwise
+      // overshoot on its last step.
+      const std::uint64_t delay = std::min(bo.delay, max_backoff);
       const std::uint64_t jittered = delay / 2 + b.RandomBelow(ctx, delay / 2 + 1);
       co_await b.BackoffUnits(ctx, jittered, /*at_cap=*/delay >= max_backoff);
-      delay = std::min(delay * 2, max_backoff);
+      bo.delay = std::min(delay * 2, max_backoff);
     }
   }
 };

@@ -1,6 +1,8 @@
-// Native NUMA-aware locks: CNA, HMCS-T, and Fissile.
+// Native NUMA-aware locks: CNA, HMCS-T, Fissile, and the distributed
+// reader-writer lock.
 //
-// The algorithm bodies live in src/hlock/algo/{cna,hmcs,fissile}.h, written
+// The algorithm bodies live in src/hlock/algo/{cna,hmcs,fissile,drwlock}.h,
+// written
 // once over the memory-backend concept; these adapters bind them to the
 // native backend and run the coroutine cores eagerly to completion inside
 // lock()/unlock(), exactly like the MCS adapters in mcs_locks.h.
@@ -19,6 +21,7 @@
 
 #include "src/hlock/algo/backend.h"
 #include "src/hlock/algo/cna.h"
+#include "src/hlock/algo/drwlock.h"
 #include "src/hlock/algo/fissile.h"
 #include "src/hlock/algo/hmcs.h"
 #include "src/hlock/algo/native_backend.h"
@@ -144,9 +147,77 @@ class BasicFissileLock {
   algo::FissileCore<Backend> core_;
 };
 
+// Distributed reader-writer lock: per-cluster padded reader counters (a
+// reader entry/exit touches only its own cluster's line), writer flag +
+// cluster sweep.  std::shared_mutex-shaped API plus try_upgrade()/downgrade()
+// per the dgos rwspinlock shape.  `preference` picks who overtakes whom when
+// readers and a writer collide (see algo::DrwPreference).
+template <class Platform = StdPlatform>
+class BasicDrwLock {
+ public:
+  explicit BasicDrwLock(std::uint32_t procs_per_cluster = 1,
+                        algo::DrwPreference preference = algo::DrwPreference::kWriters)
+      : backend_(procs_per_cluster), core_(&backend_, /*home=*/0, preference) {}
+  BasicDrwLock(const BasicDrwLock&) = delete;
+  BasicDrwLock& operator=(const BasicDrwLock&) = delete;
+
+  void lock() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.AcquireExclusive(ctx).Get();
+  }
+  void unlock() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.ReleaseExclusive(ctx).Get();
+  }
+  bool try_lock() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    return core_.TryAcquireExclusive(ctx).Get();
+  }
+
+  void lock_shared() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.AcquireShared(ctx).Get();
+  }
+  void unlock_shared() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.ReleaseShared(ctx).Get();
+  }
+  bool try_lock_shared() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    return core_.TryAcquireShared(ctx).Get();
+  }
+
+  // Upgrades a shared hold to exclusive.  On false the shared hold is
+  // *retained* -- the caller must unlock_shared() and take lock() from
+  // scratch (two winners would deadlock on each other's read count, so this
+  // can only be a try).  On true the shared hold has been consumed.
+  bool try_upgrade() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    return core_.TryUpgrade(ctx).Get();
+  }
+
+  // Downgrades an exclusive hold to shared with no writer-sneak window.
+  void downgrade() {
+    typename Backend::Ctx ctx{Platform::ThreadId()};
+    core_.Downgrade(ctx).Get();
+  }
+
+  // Attaches reader/writer profiling sites (null detaches); wait/hold
+  // samples are host nanoseconds.  Not thread-safe against concurrent users.
+  void set_sites(hprof::LockSiteStats* reader_site, hprof::LockSiteStats* writer_site) {
+    core_.set_sites(reader_site, writer_site);
+  }
+
+ private:
+  using Backend = algo::NativeBackend<Platform>;
+  Backend backend_;
+  algo::DrwLockCore<Backend> core_;
+};
+
 using CnaLock = BasicCnaLock<>;
 using HmcsTLock = BasicHmcsTLock<>;
 using FissileLock = BasicFissileLock<>;
+using DrwLock = BasicDrwLock<>;
 
 }  // namespace hlock
 

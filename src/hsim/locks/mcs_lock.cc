@@ -22,6 +22,8 @@ const char* LockKindName(LockKind kind) {
       return "hmcs-t";
     case LockKind::kFissile:
       return "fissile";
+    case LockKind::kDrw:
+      return "drwlock";
   }
   return "?";
 }

@@ -26,6 +26,8 @@ std::unique_ptr<SimLock> MakeSimLock(Machine* machine, LockKind kind, ModuleId h
       return std::make_unique<SimHmcsTLock>(machine, home);
     case LockKind::kFissile:
       return std::make_unique<SimFissileLock>(machine, home);
+    case LockKind::kDrw:
+      return std::make_unique<SimDrwLock>(machine, home);
   }
   return nullptr;
 }

@@ -1,11 +1,12 @@
-// Simulated NUMA-aware locks: CNA, HMCS-T, and Fissile.
+// Simulated NUMA-aware locks: CNA, HMCS-T, Fissile, and the distributed
+// reader-writer lock.
 //
-// The algorithm bodies live in src/hlock/algo/{cna,hmcs,fissile}.h, written
-// once over the memory-backend concept; these adapters bind them to
+// The algorithm bodies live in src/hlock/algo/{cna,hmcs,fissile,drwlock}.h,
+// written once over the memory-backend concept; these adapters bind them to
 // SimBackend (costed Processor accesses, NUMA word homes, station-of-module
 // cluster topology).  On HECTOR the cluster of a processor is its station,
-// so CNA's secondary queue parks off-station waiters and HMCS-T runs one
-// local level per station.
+// so CNA's secondary queue parks off-station waiters, HMCS-T runs one local
+// level per station, and the drw lock homes one reader counter per station.
 
 #ifndef HSIM_LOCKS_NUMA_LOCK_H_
 #define HSIM_LOCKS_NUMA_LOCK_H_
@@ -15,6 +16,7 @@
 #include <string>
 
 #include "src/hlock/algo/cna.h"
+#include "src/hlock/algo/drwlock.h"
 #include "src/hlock/algo/fissile.h"
 #include "src/hlock/algo/hmcs.h"
 #include "src/hsim/locks/sim_backend.h"
@@ -102,6 +104,42 @@ class SimFissileLock : public SimLock {
  private:
   SimBackend backend_;
   hlock::algo::FissileCore<SimBackend> core_;
+};
+
+// Distributed RW lock over simulated NUMA memory: one padded reader counter
+// per station, homed at that station, so an uncontended reader entry is a
+// local CAS + one (remote) flag load.  The SimLock interface drives the
+// *writer* side (RunLockStress races exclusive holders like any other kind);
+// reader traffic goes through AcquireShared/ReleaseShared, which the RW
+// stress harness calls directly.
+class SimDrwLock : public SimLock {
+ public:
+  SimDrwLock(Machine* machine, ModuleId home,
+             hlock::algo::DrwPreference preference = hlock::algo::DrwPreference::kWriters)
+      : backend_(machine), core_(&backend_, home, preference) {}
+
+  Task<void> Acquire(Processor& p) override { return core_.AcquireExclusive(p); }
+  Task<void> Release(Processor& p) override { return core_.ReleaseExclusive(p); }
+  std::string name() const override { return core_.name(); }
+
+  Task<void> AcquireShared(Processor& p) { return core_.AcquireShared(p); }
+  Task<void> ReleaseShared(Processor& p) { return core_.ReleaseShared(p); }
+  Task<bool> TryUpgrade(Processor& p) { return core_.TryUpgrade(p); }
+  Task<void> Downgrade(Processor& p) { return core_.Downgrade(p); }
+
+  // SimLock's single site profiles the writer side; attach the reader-hold
+  // site separately (reader and writer holds are different histograms).
+  void set_site(hprof::LockSiteStats* site) override {
+    core_.set_sites(core_.reader_site(), site);
+  }
+  hprof::LockSiteStats* site() const override { return core_.writer_site(); }
+  void set_reader_site(hprof::LockSiteStats* site) {
+    core_.set_sites(site, core_.writer_site());
+  }
+
+ private:
+  SimBackend backend_;
+  hlock::algo::DrwLockCore<SimBackend> core_;
 };
 
 // Central factory over LockKind: every harness that races the lock family

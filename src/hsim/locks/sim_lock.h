@@ -52,6 +52,9 @@ enum class LockKind {
   kCna,        // compact NUMA-aware MCS (secondary queue of remote waiters)
   kHmcsT,      // hierarchical MCS (per-station level) with timeout
   kFissile,    // fast-path TAS over an MCS slow path
+  kDrw,        // distributed RW lock (per-station reader counters + sweep);
+               // Acquire/Release drive the writer side, the reader side is
+               // SimDrwLock's own AcquireShared/ReleaseShared
 };
 
 const char* LockKindName(LockKind kind);

@@ -109,6 +109,95 @@ LockStressResult RunLockStress(const LockStressParams& params) {
 
 namespace {
 
+struct RwShared {
+  SimLock* lock;
+  SimDrwLock* drw;  // non-null iff the kind routes shared ops to the RW path
+  RwStressResult* result;
+  std::uint32_t write_every;
+  Tick warm_end;
+  Tick deadline;
+  Tick hold_read;
+  Tick hold_write;
+  Tick think;
+};
+
+// One processor's deterministic read/write mix.  The op counter starts at the
+// processor index so the exclusive ops are staggered instead of every
+// processor writing in lockstep.
+Task<void> RwDriver(Processor* p, RwShared* shared, std::uint32_t index) {
+  std::uint64_t op = index;
+  while (p->now() < shared->deadline) {
+    const bool write =
+        shared->write_every != 0 && op % shared->write_every == 0;
+    ++op;
+    const Tick t0 = p->now();
+    if (write || shared->drw == nullptr) {
+      co_await shared->lock->Acquire(*p);
+    } else {
+      co_await shared->drw->AcquireShared(*p);
+    }
+    const Tick t1 = p->now();
+    if (t1 >= shared->warm_end && t1 <= shared->deadline) {
+      if (write) {
+        ++shared->result->write_ops;
+      } else {
+        ++shared->result->read_ops;
+      }
+      if (t0 >= shared->warm_end) {
+        (write ? shared->result->write_latency : shared->result->read_latency)
+            .Record(t1 - t0);
+      }
+    }
+    co_await p->Compute(write ? shared->hold_write : shared->hold_read);
+    if (write || shared->drw == nullptr) {
+      co_await shared->lock->Release(*p);
+    } else {
+      co_await shared->drw->ReleaseShared(*p);
+    }
+    if (shared->think > 0) {
+      co_await p->Compute(shared->think);
+    }
+  }
+}
+
+}  // namespace
+
+RwStressResult RunRwLockStress(const RwStressParams& params) {
+  Engine engine;
+  Machine machine(&engine, params.machine);
+  std::unique_ptr<SimLock> lock =
+      MakeSimLock(&machine, params.kind, params.lock_home);
+  if (params.writer_site != nullptr) {
+    lock->set_site(params.writer_site);
+  }
+  auto* drw = dynamic_cast<SimDrwLock*>(lock.get());
+  if (drw != nullptr && params.reader_site != nullptr) {
+    drw->set_reader_site(params.reader_site);
+  }
+
+  RwStressResult result;
+  RwShared shared;
+  shared.lock = lock.get();
+  shared.drw = drw;
+  shared.result = &result;
+  shared.write_every = params.write_every;
+  shared.warm_end = params.warmup;
+  shared.deadline = params.warmup + params.duration;
+  shared.hold_read = params.hold_read;
+  shared.hold_write = params.hold_write;
+  shared.think = params.think;
+
+  for (std::uint32_t p = 0; p < params.processors; ++p) {
+    engine.Spawn(RwDriver(&machine.processor(p), &shared, p));
+  }
+  engine.RunUntilIdle();
+  result.processors = params.processors;
+  result.window = params.duration;
+  return result;
+}
+
+namespace {
+
 // One processor's life in the profiled contention scenario: a globally shared
 // critical section followed by a station-local one, forever.
 Task<void> ContentionDriver(Processor* p, SimLock* shared, SimLock* local,

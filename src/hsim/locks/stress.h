@@ -67,6 +67,57 @@ struct LockStressResult {
 
 LockStressResult RunLockStress(const LockStressParams& params);
 
+// Reader-writer stress: p processors run a deterministic op mix against one
+// lock — every `write_every`-th op per processor is exclusive, the rest are
+// shared.  When the kind is kDrw the shared ops go through the distributed
+// reader path (per-station counters); for every other kind shared ops fall
+// back to plain Acquire/Release, which makes the same mix a coarse-lock
+// baseline the RW numbers can be raced against.
+struct RwStressParams {
+  LockKind kind = LockKind::kDrw;
+  std::uint32_t processors = 16;
+  std::uint32_t write_every = 20;  // 1-in-N ops are exclusive; 0 = read-only
+  Tick hold_read = 0;              // shared-hold length
+  Tick hold_write = 0;             // exclusive-hold length
+  Tick think = 48;                 // loop overhead between ops
+  ModuleId lock_home = 0;
+  Tick warmup = UsToTicks(1000);
+  Tick duration = UsToTicks(20000);
+  MachineConfig machine;
+  // Optional split profiling sites (reader holds and writer holds are
+  // different histograms).  reader_site is honoured only for kDrw.
+  hprof::LockSiteStats* reader_site = nullptr;
+  hprof::LockSiteStats* writer_site = nullptr;
+};
+
+struct RwStressResult {
+  LatencyRecorder read_latency;   // shared-acquire response, in-window
+  LatencyRecorder write_latency;  // exclusive-acquire response, in-window
+  std::uint64_t read_ops = 0;     // shared ops completed inside the window
+  std::uint64_t write_ops = 0;    // exclusive ops completed inside the window
+  std::uint32_t processors = 0;
+  Tick window = 0;
+
+  // Aggregate system response time by Little's law over the whole mix.
+  double little_response_us() const {
+    const std::uint64_t ops = read_ops + write_ops;
+    if (ops == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(processors) * TicksToUs(window) /
+           static_cast<double>(ops);
+  }
+  // Window throughput in completed ops per simulated microsecond.
+  double ops_per_us() const {
+    if (window == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(read_ops + write_ops) / TicksToUs(window);
+  }
+};
+
+RwStressResult RunRwLockStress(const RwStressParams& params);
+
 // The profiled contention scenario behind `fig5_lock_contention --profile`:
 // every processor alternates between one machine-wide shared lock (the
 // paper's worst case: a global kernel lock with a ~2 us critical section) and

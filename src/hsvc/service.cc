@@ -25,7 +25,7 @@ std::uint64_t Service::NowNs() {
 Service::Service(const ServiceConfig& config) : config_(config) {
   runtime_ = std::make_unique<hcluster::ClusterRuntime>(config_.topology);
   table_ = std::make_unique<hcluster::ClusteredTable<std::uint64_t, std::uint64_t>>(
-      runtime_.get(), config_.buckets_per_cluster);
+      runtime_.get(), config_.buckets_per_cluster, config_.read_path);
   pumps_.reserve(config_.topology.workers);
   for (std::uint32_t w = 0; w < config_.topology.workers; ++w) {
     pumps_.push_back(std::make_unique<Pump>(config_.queue_bound));
@@ -166,6 +166,10 @@ void Service::ProcessBatch(Pump& pump, std::vector<Request*>& batch) {
     }
     PaceOne(pump);
     if (req->kind == OpKind::kGet) {
+      // Different-key reads cannot combine, but on the distributed read path
+      // they no longer serialize either: Get's replica lookup is a
+      // cluster-local reader entry on the table's RW chain lock, so every
+      // pump's uncombined reads proceed in parallel.
       const std::optional<std::uint64_t> value = table_->Get(req->key);
       cache_valid = true;
       cache_key = req->key;

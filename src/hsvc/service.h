@@ -116,6 +116,12 @@ struct ServiceConfig {
   // pacing to make shard *capacity* a configured quantity, so admission and
   // scaling results are rate-determined instead of host-speed-determined.
   double service_rate_per_worker = 0;
+  // How replica readers reach a table chain (see hlock::ReadPath).
+  // kDistributed (default) lets pumps on different clusters -- and the
+  // *different-key* reads a batch could not combine -- walk the same
+  // replica's chains in parallel; kCoarse serializes every read on the
+  // replica's coarse lock (kept as the read-heavy bench baseline).
+  hlock::ReadPath read_path = hlock::ReadPath::kDistributed;
 };
 
 class Service {

@@ -136,6 +136,56 @@ TEST(HybridTableHcheck, EraseRefusesReservedEntries) {
   EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
 }
 
+// Regression for the reader-exit lost update: SharedGuard::Release is a
+// lock-free CAS decrement (the pre-fix code re-acquired the coarse chain lock
+// around a plain decrement; dropping the lock without upgrading the decrement
+// to a CAS loses counts).  Two readers release concurrently; both decrements
+// must land, or the reserve word is left nonzero and the exclusive try below
+// fails forever after.
+TEST(HybridTableHcheck, ConcurrentReaderExitsBothLand) {
+  hcheck::Options opts;
+  opts.max_schedules = 40000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto table = std::make_shared<Table>(4);
+    { auto init = table->Acquire(2); }
+    auto read = [table] {
+      auto guard = table->AcquireShared(2);
+      hcheck::Yield();  // let the two releases overlap
+    };
+    hcheck::Thread a = hcheck::Spawn(read);
+    hcheck::Thread b = hcheck::Spawn(read);
+    a.Join();
+    b.Join();
+    // Both reader counts returned: the entry is free again.
+    HCHECK_ASSERT(static_cast<bool>(table->TryAcquire(2)));
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+// The deliberately re-broken variant (plain load/store decrement, still
+// outside the coarse lock) loses one of two overlapping exits: hcheck must
+// find the schedule where the entry stays reserved at quiescence.  This is
+// what distinguishes the fix from "it happened to pass".
+TEST(HybridTableHcheck, RacyReaderExitLosesACount) {
+  hcheck::Options opts;
+  opts.max_schedules = 40000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto table = std::make_shared<Table>(4);
+    table->set_racy_reader_exit_for_test(true);
+    { auto init = table->Acquire(2); }
+    auto read = [table] {
+      auto guard = table->AcquireShared(2);
+      hcheck::Yield();
+    };
+    hcheck::Thread a = hcheck::Spawn(read);
+    hcheck::Thread b = hcheck::Spawn(read);
+    a.Join();
+    b.Join();
+    HCHECK_ASSERT(static_cast<bool>(table->TryAcquire(2)));
+  });
+  EXPECT_TRUE(res.failed) << "hcheck failed to catch the racy reader exit";
+}
+
 // A shared hold blocks Erase just as an exclusive one does, and the shared
 // TryAcquireShared path fails while an exclusive reservation is pending.
 TEST(HybridTableHcheck, TryAcquireSharedFailsWhileExclusive) {

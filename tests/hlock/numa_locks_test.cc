@@ -122,6 +122,146 @@ TEST(NumaLocks, FissileTryLock) {
   lock.unlock();
 }
 
+TEST(NumaLocks, DrwWriterMutualExclusion) {
+  DrwLock lock(/*procs_per_cluster=*/2);
+  MutualExclusionStress(lock, kThreads, kIters);
+}
+
+// Readers and writers race the same shared value: TSan sees any reader that
+// overlaps a writer, and the writer's two-step update is asserted never to be
+// observed half-done.
+TEST(NumaLocks, DrwReadersExcludeWriters) {
+  DrwLock lock(/*procs_per_cluster=*/2);
+  std::int64_t value = 0;  // guarded by `lock`; deliberately not atomic
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t == 0) {
+          lock.lock();
+          value = value + 1;  // transiently odd...
+          value = value + 1;  // ...even again before release
+          lock.unlock();
+        } else {
+          lock.lock_shared();
+          if (value % 2 != 0) {
+            torn.store(true, std::memory_order_relaxed);
+          }
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_FALSE(torn.load());
+  lock.lock();
+  EXPECT_EQ(value, 2 * kIters);
+  lock.unlock();
+}
+
+// Readers on different clusters genuinely overlap: with one reader parked
+// inside its hold, a second reader must get in without waiting.
+TEST(NumaLocks, DrwSharedHoldsOverlap) {
+  DrwLock lock(/*procs_per_cluster=*/1);
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    lock.lock_shared();
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    lock.unlock_shared();
+  });
+  while (!parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(lock.try_lock_shared());  // second reader alongside the first
+  EXPECT_FALSE(lock.try_lock());        // but no writer
+  lock.unlock_shared();
+  release.store(true, std::memory_order_release);
+  holder.join();
+  ASSERT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(NumaLocks, DrwTryLock) {
+  DrwLock lock(/*procs_per_cluster=*/2);
+  ASSERT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+  ASSERT_TRUE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+  ASSERT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// Upgrade/downgrade under contention: workers take a shared hold, try to
+// upgrade, and fall back to the from-scratch write path on a lost race (the
+// documented contract).  Every worker's write lands exactly once.
+TEST(NumaLocks, DrwUpgradeDowngradeStress) {
+  DrwLock lock(/*procs_per_cluster=*/2);
+  std::int64_t counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        lock.lock_shared();
+        if (lock.try_upgrade()) {
+          counter = counter + 1;
+          lock.downgrade();
+          lock.unlock_shared();
+        } else {
+          lock.unlock_shared();
+          lock.lock();
+          counter = counter + 1;
+          lock.unlock();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  lock.lock();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * 500);
+  lock.unlock();
+}
+
+TEST(NumaLocks, DrwReaderPreferenceStillExcludes) {
+  DrwLock lock(/*procs_per_cluster=*/2, algo::DrwPreference::kReaders);
+  MutualExclusionStress(lock, kThreads, kIters);
+}
+
+TEST(NumaLocks, DrwProfilingSitesSplitReadersAndWriters) {
+  hprof::LockSiteStats reader_site("test/drw.reader", /*procs_per_cluster=*/2);
+  hprof::LockSiteStats writer_site("test/drw.writer", /*procs_per_cluster=*/2);
+  DrwLock lock(/*procs_per_cluster=*/2);
+  lock.set_sites(&reader_site, &writer_site);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        lock.lock_shared();
+        lock.unlock_shared();
+        lock.lock();
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  lock.set_sites(nullptr, nullptr);
+  EXPECT_EQ(reader_site.acquisitions(), static_cast<std::uint64_t>(kThreads) * 200);
+  EXPECT_EQ(writer_site.acquisitions(), static_cast<std::uint64_t>(kThreads) * 200);
+}
+
 TEST(NumaLocks, ProfilingSiteRecordsAcquisitions) {
   hprof::LockSiteStats site("test/cna", /*procs_per_cluster=*/2);
   CnaLock lock(/*procs_per_cluster=*/2);

@@ -50,6 +50,23 @@ void FillCannedTable(SiteTable* table) {
   site.RecordAcquire(12, 80, true, 3);
   site.LeaveQueue();
   site.RecordRelease(16);
+
+  // The hybrid table's reserve-word path: waiters spin *outside* the coarse
+  // lock and report their cluster at enqueue time.  (The pre-fix code used
+  // the cluster-less EnterQueue() here, so the offered per-cluster mix below
+  // -- who waited, not just who won -- was silently dropped.)  Two waiters
+  // from different clusters overlap in the queue before either is granted.
+  LockSiteStats& reserve = table->AddSite("svc/table.reserve", /*procs_per_cluster=*/4);
+  reserve.RecordAcquire(/*owner=*/1, /*wait=*/0, /*contended=*/false, /*cluster=*/0);
+  reserve.EnterQueue(1);  // owner 4, cluster 1, starts waiting
+  reserve.EnterQueue(2);  // owner 9, cluster 2, waits alongside (depth 2)
+  reserve.RecordRelease(/*hold=*/480);  // owner 1 clears the reserve word
+  reserve.RecordAcquire(4, 520, true, 1);
+  reserve.LeaveQueue();
+  reserve.RecordRelease(96);
+  reserve.RecordAcquire(9, 1040, true, 2);
+  reserve.LeaveQueue();
+  reserve.RecordRelease(64);
 }
 
 TEST(ClusterAttribution, ExplicitClusterOverridesIdDivision) {
@@ -73,6 +90,25 @@ TEST(ClusterAttribution, ExplicitClusterOverridesIdDivision) {
   EXPECT_EQ(site.by_cluster().at(0).enqueues, 2u);
   EXPECT_EQ(site.by_cluster().at(3).acquisitions, 2u);
   EXPECT_EQ(site.by_cluster().at(3).enqueues, 1u);
+}
+
+// The reserve-path site: enqueue-time capture keeps the offered mix (one
+// waiter per cluster 1 and 2) even though the winners' clusters would have
+// been recorded anyway -- by_cluster() now distinguishes "waited there" from
+// "won there", and overlapping waiters reach queue depth 2.
+TEST(ClusterAttribution, ReservePathCapturesOfferedMixAtEnqueue) {
+  SiteTable table(/*ticks_per_us=*/16.0);
+  FillCannedTable(&table);
+  const LockSiteStats& reserve = table.site(1);
+
+  EXPECT_EQ(reserve.acquisitions(), 3u);
+  EXPECT_EQ(reserve.contended(), 2u);
+  EXPECT_EQ(reserve.max_queue_depth(), 2u);
+  ASSERT_EQ(reserve.by_cluster().size(), 3u);
+  EXPECT_EQ(reserve.by_cluster().at(0).enqueues, 0u);  // uncontended winner
+  EXPECT_EQ(reserve.by_cluster().at(0).acquisitions, 1u);
+  EXPECT_EQ(reserve.by_cluster().at(1).enqueues, 1u);
+  EXPECT_EQ(reserve.by_cluster().at(2).enqueues, 1u);
 }
 
 std::string ReadFileOrDie(const std::string& path) {

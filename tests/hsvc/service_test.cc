@@ -254,7 +254,8 @@ TEST(Service, LockProfilerSeesShardTraffic) {
   Service svc(config);
   hprof::SiteTable sites(1000.0);  // wait/hold recorded in host nanoseconds
   svc.AttachLockProfiler(&sites);
-  ASSERT_EQ(sites.size(), 2u * svc.num_shards());  // coarse + reserve per replica
+  // Coarse + reserve + chain.reader + chain.writer per replica.
+  ASSERT_EQ(sites.size(), 4u * svc.num_shards());
 
   SyncClient client;
   ASSERT_EQ(client.Run(svc, OpKind::kPut, 2, 11, 0), Status::kOk);
