@@ -13,10 +13,14 @@
 //   Spin       2      0    1    3
 
 #include <cstdio>
+#include <cstdint>
 #include <memory>
 
+#include "src/halloc/shared_pool.h"
+#include "src/halloc/slab_core.h"
 #include "src/hmetrics/bench_main.h"
 #include "src/hsim/engine.h"
+#include "src/hsim/locks/sim_backend.h"
 #include "src/hsim/locks/mcs_lock.h"
 #include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/spin_lock.h"
@@ -71,6 +75,49 @@ hsim::OpStats CountDrwPair(bool shared) {
   }
   engine.RunUntilIdle();
   return p.stats() - before;
+}
+
+template <class Core>
+hsim::Task<void> OneAlloc(hsim::Processor* p, Core* core, std::uint64_t* out) {
+  *out = co_await core->Alloc(*p);
+}
+
+template <class Core>
+hsim::Task<void> OneFree(hsim::Processor* p, Core* core, std::uint64_t ref) {
+  co_await core->Free(*p, ref);
+}
+
+struct AllocPairCounts {
+  hsim::OpStats alloc;
+  hsim::OpStats free;
+};
+
+// Differenced around one warm uncontended alloc and one free on processor 0,
+// the same protocol as CountPair: a warm-up pair first so both measured ops
+// take the steady-state path (slab: magazine pop/push under the cache lock;
+// shared pool: stack pop/push under the pool lock).
+template <class Core, class Make>
+AllocPairCounts CountAllocPair(Make make) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});
+  hsim::SimBackend backend(&machine);
+  std::unique_ptr<Core> core = make(&backend);
+  hsim::Processor& p = machine.processor(0);
+  std::uint64_t ref = 0;
+  engine.Spawn(OneAlloc(&p, core.get(), &ref));  // warm-up pair
+  engine.RunUntilIdle();
+  engine.Spawn(OneFree(&p, core.get(), ref));
+  engine.RunUntilIdle();
+  AllocPairCounts counts;
+  hsim::OpStats before = p.stats();
+  engine.Spawn(OneAlloc(&p, core.get(), &ref));
+  engine.RunUntilIdle();
+  counts.alloc = p.stats() - before;
+  before = p.stats();
+  engine.Spawn(OneFree(&p, core.get(), ref));
+  engine.RunUntilIdle();
+  counts.free = p.stats() - before;
+  return counts;
 }
 
 }  // namespace
@@ -132,6 +179,62 @@ int main(int argc, char** argv) {
     const hsim::OpStats d = CountDrwPair(row.shared);
     const std::uint64_t measured[4] = {d.atomic_ops, d.mem_accesses(), d.reg_instrs, d.branches};
     printf("%-9s", row.name);
+    bool row_match = true;
+    for (int i = 0; i < 4; ++i) {
+      printf("      %4llu (%d)", static_cast<unsigned long long>(measured[i]), row.expected[i]);
+      row_match &= measured[i] == static_cast<std::uint64_t>(row.expected[i]);
+    }
+    all_match &= row_match;
+    printf("\n");
+    report.AddSeries("instruction_counts", {{"lock", row.name}})
+        .AddPoint({{"atomic", static_cast<double>(measured[0])},
+                   {"mem", static_cast<double>(measured[1])},
+                   {"reg", static_cast<double>(measured[2])},
+                   {"br", static_cast<double>(measured[3])},
+                   {"matches_paper", row_match ? 1.0 : 0.0}});
+  }
+
+  // Beyond the paper: the halloc fast paths, one row per operation (not per
+  // pair -- alloc and free cost differently).  Derived expected values:
+  //   Slab alloc: cache-lock CAS (+1 reg, +1 br), load loaded, load count
+  //   (+1 br for the count test), PopRound's round load + count store
+  //   (+1 reg), release store (+1 br)            -> 1 atomic, 5 mem, 2 reg, 3 br.
+  //   Slab free: same shell; PushRound stores the round instead of loading
+  //   it (2 loads + 3 stores)                    -> 1 atomic, 5 mem, 2 reg, 3 br.
+  //   Pool alloc: pool-lock CAS (+1 reg, +1 br), head load (+1 br), next
+  //   load, head store, release store (+1 br)    -> 1 atomic, 4 mem, 1 reg, 3 br.
+  //   Pool free: head load, next store, head store, no nil test
+  //                                              -> 1 atomic, 4 mem, 1 reg, 2 br.
+  // The slab pays one extra mem access and a reg op over the shared pool --
+  // the price of the magazine indirection -- but every one of its references
+  // stays on the allocating cluster's station (bench/alloc_scaling).
+  printf("\nhalloc allocators, per operation (derived expected values in "
+         "parentheses)\n");
+  const AllocPairCounts slab = CountAllocPair<halloc::SlabAllocatorCore<hsim::SimBackend>>(
+      [](hsim::SimBackend* b) {
+        return std::make_unique<halloc::SlabAllocatorCore<hsim::SimBackend>>(
+            b, halloc::SlabConfig{});
+      });
+  const AllocPairCounts pool = CountAllocPair<halloc::SharedPoolCore<hsim::SimBackend>>(
+      [](hsim::SimBackend* b) {
+        return std::make_unique<halloc::SharedPoolCore<hsim::SimBackend>>(
+            b, /*capacity=*/64, /*home=*/0);
+      });
+  struct AllocRow {
+    const char* name;
+    const hsim::OpStats* d;
+    int expected[4];
+  };
+  const AllocRow alloc_rows[] = {
+      {"Slab-alloc", &slab.alloc, {1, 5, 2, 3}},
+      {"Slab-free", &slab.free, {1, 5, 2, 3}},
+      {"Pool-alloc", &pool.alloc, {1, 4, 1, 3}},
+      {"Pool-free", &pool.free, {1, 4, 1, 2}},
+  };
+  for (const AllocRow& row : alloc_rows) {
+    const hsim::OpStats& d = *row.d;
+    const std::uint64_t measured[4] = {d.atomic_ops, d.mem_accesses(), d.reg_instrs, d.branches};
+    printf("%-10s", row.name);
     bool row_match = true;
     for (int i = 0; i < 4; ++i) {
       printf("      %4llu (%d)", static_cast<unsigned long long>(measured[i]), row.expected[i]);

@@ -40,6 +40,10 @@ struct KernelConfig {
   DeadlockProtocol protocol = DeadlockProtocol::kOptimistic;
   std::uint32_t hash_bins = 256;         // bins per per-cluster page hash table
   std::uint32_t table_capacity = 2048;   // descriptors per cluster pool
+  // Rounds per descriptor-arena magazine (the halloc slab allocator that
+  // replaced the per-table host free list).  Depot traffic scales with
+  // alloc/free drift divided by this.
+  std::uint32_t desc_magazine_size = 8;
   static constexpr std::uint32_t kPayloadWords = 8;  // descriptor payload copied on replication
 
   // --- locking ---------------------------------------------------------------

@@ -1,0 +1,62 @@
+#include "src/hkernel/desc_arena.h"
+
+#include "src/hsim/locks/reserve_bit.h"
+
+namespace hkernel {
+
+namespace {
+
+halloc::SlabConfig MakeConfig(std::uint32_t objects_per_cluster,
+                              std::uint32_t magazine_size) {
+  halloc::SlabConfig cfg;
+  cfg.objects_per_cluster = objects_per_cluster;
+  cfg.magazine_size = magazine_size;
+  cfg.depot_home = 0;  // depot stack tops and cursors live on module 0
+  return cfg;
+}
+
+}  // namespace
+
+DescriptorArena::DescriptorArena(hsim::Machine* machine, std::uint32_t cluster_size,
+                                 std::uint32_t objects_per_cluster,
+                                 std::uint32_t magazine_size,
+                                 std::vector<std::vector<hsim::ModuleId>> cluster_modules)
+    : backend_(machine, cluster_size),
+      core_(&backend_, MakeConfig(objects_per_cluster, magazine_size)) {
+  Backend::Check(cluster_modules.size() >= backend_.NumClusters(),
+                 "DescriptorArena: cluster_modules must cover every cluster");
+  const std::uint64_t capacity = core_.capacity();
+  descriptors_.reserve(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    // Descriptor i backs ref i+1: home it at its ref's cluster so the object a
+    // cluster-local Alloc hands back is itself cluster-local (a depot-steal
+    // deliberately keeps the donor's homing -- the ref records the truth).
+    const std::uint32_t cluster = core_.HomeClusterOf(i + 1);
+    const std::vector<hsim::ModuleId>& modules = cluster_modules[cluster];
+    const hsim::ModuleId home =
+        modules[(i % objects_per_cluster) % modules.size()];
+    PageDescriptor d;
+    d.page = &machine->AllocWord(home, 0);
+    d.next = &machine->AllocWord(home, kNilDesc);
+    d.reserve = &machine->AllocWord(home, hsim::SimReserve::kFree);
+    d.flags = &machine->AllocWord(home, 0);
+    d.ref_count = &machine->AllocWord(home, 0);
+    d.replicas = &machine->AllocWord(home, 0);
+    d.payload.reserve(KernelConfig::kPayloadWords);
+    for (std::uint32_t w = 0; w < KernelConfig::kPayloadWords; ++w) {
+      d.payload.push_back(&machine->AllocWord(home, 0));
+    }
+    descriptors_.push_back(std::move(d));
+  }
+}
+
+hsim::Task<DescRef> DescriptorArena::Alloc(hsim::Processor& p) {
+  const std::uint64_t ref = co_await core_.Alloc(p);
+  co_return static_cast<DescRef>(ref);
+}
+
+hsim::Task<void> DescriptorArena::Free(hsim::Processor& p, DescRef ref) {
+  co_await core_.Free(p, ref);
+}
+
+}  // namespace hkernel

@@ -1,0 +1,112 @@
+// Machine-wide page-descriptor arena on the halloc slab allocator.
+//
+// Before this arena each PageHashTable kept a private host-side free list
+// (free_list_ vector + a flat Exec charge), so descriptor allocation was
+// uncosted, invisible to the profiler, and each cluster's pool was a hard
+// silo: one cluster could exhaust its 2048 descriptors while a neighbour sat
+// idle.  The arena replaces all of that with SlabAllocatorCore over the
+// simulated machine:
+//
+//   - refs are partitioned per kernel cluster and each descriptor's SimWords
+//     are homed at its ref's home cluster (first module of the cluster, where
+//     the old per-table pools lived), so the hot alloc/free path touches only
+//     cluster-local magazine words;
+//   - allocation cost is real simulated memory traffic under the cluster's
+//     cache lock, not a flat Exec charge;
+//   - the shared depot absorbs drift between clusters (replica churn frees on
+//     the faulting cluster what the home cluster allocated) and lets a busy
+//     cluster steal never-used slabs from an idle one's range;
+//   - the depot lock is an hprof site ("kernel/desc-depot" via
+//     KernelSystem::AttachLockProfiler), so allocator contention shows up in
+//     lockprof reports with per-cluster handoff attribution.
+//
+// The allocation clustering follows the KERNEL's clustering (config.
+// cluster_size), not the machine's stations: the arena's backend shadows
+// SimBackend's station-based topology the same way fig7's cluster sweep
+// regroups processors.
+
+#ifndef HKERNEL_DESC_ARENA_H_
+#define HKERNEL_DESC_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/halloc/slab_core.h"
+#include "src/hkernel/config.h"
+#include "src/hsim/locks/sim_backend.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/task.h"
+
+namespace hkernel {
+
+// Index of a descriptor within the arena, offset by one; 0 means nil.
+using DescRef = std::uint32_t;
+inline constexpr DescRef kNilDesc = 0;
+
+struct PageDescriptor {
+  hsim::SimWord* page;       // page identifier this descriptor describes
+  hsim::SimWord* next;       // hash chain link (DescRef)
+  hsim::SimWord* reserve;    // reserve word (see hsim::SimReserve)
+  hsim::SimWord* flags;      // kFlagPresent | kFlagHome
+  hsim::SimWord* ref_count;  // per-cluster mapping reference count
+  hsim::SimWord* replicas;   // home only: bitmask of clusters holding replicas
+  std::vector<hsim::SimWord*> payload;  // data copied on replication
+};
+
+class DescriptorArena {
+ public:
+  // SimBackend with the kernel's clustering (id / cluster_size) instead of
+  // the machine's stations.  SlabAllocatorCore reaches topology through its
+  // template parameter, so shadowing the three lookups is sufficient.
+  class Backend : public hsim::SimBackend {
+   public:
+    Backend(hsim::Machine* machine, std::uint32_t cluster_size)
+        : hsim::SimBackend(machine),
+          cluster_size_(cluster_size == 0 ? 1 : cluster_size) {}
+    std::uint32_t ClusterOfCtx(std::uint32_t id) const { return id / cluster_size_; }
+    std::uint32_t NumClusters() const {
+      return (machine()->config().num_processors() + cluster_size_ - 1) /
+             cluster_size_;
+    }
+
+   private:
+    std::uint32_t cluster_size_;
+  };
+
+  // `cluster_modules[c]` are the memory modules cluster c's descriptors are
+  // spread over (round-robin), one entry per allocation cluster.
+  // `objects_per_cluster` is the old per-table pool capacity.
+  DescriptorArena(hsim::Machine* machine, std::uint32_t cluster_size,
+                  std::uint32_t objects_per_cluster, std::uint32_t magazine_size,
+                  std::vector<std::vector<hsim::ModuleId>> cluster_modules);
+  DescriptorArena(const DescriptorArena&) = delete;
+  DescriptorArena& operator=(const DescriptorArena&) = delete;
+
+  // Allocates a descriptor near `p`'s cluster (kNilDesc when the whole
+  // machine is out).  Costed: runs the magazine fast path or a depot trip in
+  // simulated memory.  Caller must hold whatever serializes its table -- the
+  // arena itself is safe under concurrent callers from different clusters.
+  hsim::Task<DescRef> Alloc(hsim::Processor& p);
+  hsim::Task<void> Free(hsim::Processor& p, DescRef ref);
+
+  PageDescriptor& desc(DescRef ref) { return descriptors_[ref - 1]; }
+  const PageDescriptor& desc(DescRef ref) const { return descriptors_[ref - 1]; }
+
+  std::uint32_t objects_per_cluster() const {
+    return static_cast<std::uint32_t>(core_.objects_per_cluster());
+  }
+  std::uint64_t capacity() const { return core_.capacity(); }
+
+  halloc::SlabAllocatorCore<Backend>& core() { return core_; }
+  const halloc::SlabAllocatorCore<Backend>& core() const { return core_; }
+  void set_depot_site(hprof::LockSiteStats* site) { core_.set_depot_site(site); }
+
+ private:
+  Backend backend_;
+  halloc::SlabAllocatorCore<Backend> core_;
+  std::vector<PageDescriptor> descriptors_;
+};
+
+}  // namespace hkernel
+
+#endif  // HKERNEL_DESC_ARENA_H_

@@ -16,18 +16,20 @@ std::unique_ptr<hsim::SimLock> MakeCoarseLock(hsim::Machine* machine, hsim::Modu
 }
 
 ClusterKernel::ClusterKernel(hsim::Machine* machine, const KernelConfig& config, std::uint32_t id,
-                             std::vector<hsim::ProcId> procs)
+                             std::vector<hsim::ProcId> procs, DescriptorArena* arena)
     : id_(id), procs_(std::move(procs)) {
   // The cluster's memory-manager heap -- the coarse lock, the hash bins and
   // the page descriptors -- lives together on the cluster's first module, as
   // a kernel heap allocation would place it.  This co-location is what makes
   // remote test-and-set spinning so destructive: retries to the lock word
   // queue ahead of the very chain walks the lock holder is performing,
-  // "extending the length of its critical section" (Section 2.1).
+  // "extending the length of its critical section" (Section 2.1).  The
+  // descriptors themselves live in the shared arena, which homes this
+  // cluster's ref range at the same module (see KernelSystem's ctor).
   const hsim::ModuleId lock_home = procs_.front();
   lock_ = MakeCoarseLock(machine, lock_home, config.lock_kind);
   table_ = std::make_unique<PageHashTable>(machine, std::vector<hsim::ModuleId>{lock_home},
-                                           config.hash_bins, config.table_capacity);
+                                           config.hash_bins, arena);
 }
 
 Program::Program(hsim::Machine* machine, const KernelConfig& config, std::uint32_t id,
@@ -51,6 +53,18 @@ KernelSystem::KernelSystem(hsim::Machine* machine, const KernelConfig& config)
   const std::uint32_t nprocs = machine->num_processors();
   assert(config_.cluster_size >= 1 && config_.cluster_size <= nprocs);
   const std::uint32_t nclusters = config_.num_clusters(nprocs);
+  // One machine-wide descriptor arena, clustered like the kernel: cluster c's
+  // ref range (table_capacity descriptors) is homed at its first module, where
+  // the old per-table pools lived.
+  std::vector<std::vector<hsim::ModuleId>> cluster_modules;
+  cluster_modules.reserve(nclusters);
+  for (std::uint32_t c = 0; c < nclusters; ++c) {
+    cluster_modules.push_back({static_cast<hsim::ModuleId>(c * config_.cluster_size)});
+  }
+  arena_ = std::make_unique<DescriptorArena>(machine, config_.cluster_size,
+                                             config_.table_capacity,
+                                             config_.desc_magazine_size,
+                                             std::move(cluster_modules));
   for (std::uint32_t c = 0; c < nclusters; ++c) {
     std::vector<hsim::ProcId> procs;
     for (std::uint32_t i = 0; i < config_.cluster_size; ++i) {
@@ -59,7 +73,8 @@ KernelSystem::KernelSystem(hsim::Machine* machine, const KernelConfig& config)
         procs.push_back(p);
       }
     }
-    clusters_.push_back(std::make_unique<ClusterKernel>(machine, config_, c, std::move(procs)));
+    clusters_.push_back(
+        std::make_unique<ClusterKernel>(machine, config_, c, std::move(procs), arena_.get()));
   }
   cpus_.reserve(nprocs);
   pte_words_.resize(nprocs);
@@ -67,6 +82,17 @@ KernelSystem::KernelSystem(hsim::Machine* machine, const KernelConfig& config)
     cpus_.push_back(std::make_unique<CpuKernel>(this, p));
     pte_words_[p].push_back(&machine->AllocWord(p, 0));
     pte_words_[p].push_back(&machine->AllocWord(p, 0));
+  }
+  // Envelope pool for packets in transit.  Sized well above the stop-and-wait
+  // steady state (one outstanding call per processor plus its reply) so only
+  // fault-plan duplicate/delay storms can exhaust it -- and those take the
+  // counted by-value fallback rather than failing.
+  halloc::SlabConfig pkt_cfg;
+  pkt_cfg.objects_per_cluster = 8ull * config_.cluster_size;
+  pkt_cfg.magazine_size = 4;
+  packet_pool_ = std::make_unique<halloc::SlabAllocator<RpcPacket>>(nclusters, pkt_cfg);
+  for (hsim::ProcId p = 0; p < nprocs; ++p) {
+    packet_pool_->RegisterCtx(p, cluster_of_proc(p));
   }
 }
 
@@ -182,6 +208,12 @@ void KernelSystem::AttachLockProfiler(hprof::SiteTable* sites) {
     clusters_[c]->lock().set_site(
         &sites->AddSite("cluster" + std::to_string(c) + "/page-table", config_.cluster_size));
   }
+  // The descriptor arena's depot lock is the allocator's only cross-cluster
+  // serialization point; profile it like any other kernel lock so depot trips
+  // show up with per-cluster handoff attribution.
+  arena_->set_depot_site(&sites->AddSite("kernel/desc-depot", config_.cluster_size));
+  packet_pool_->set_depot_site(
+      &sites->AddSite("kernel/rpc-packet-depot", config_.cluster_size));
 }
 
 hsim::Task<void> KernelSystem::PageFault(hsim::Processor& p, Program& prog, std::uint64_t page,

@@ -1,32 +1,26 @@
 #include "src/hkernel/page_table.h"
 
-#include "src/hsim/locks/reserve_bit.h"
-
 namespace hkernel {
 
 PageHashTable::PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
-                             std::uint32_t num_bins, std::uint32_t capacity) {
+                             std::uint32_t num_bins, std::uint32_t capacity)
+    : PageHashTable(machine, modules, num_bins, nullptr) {
+  // Private arena spanning the whole machine as one allocation cluster, its
+  // descriptors spread over this table's modules -- the old per-table pool,
+  // now costed through the slab layer.
+  owned_arena_ = std::make_unique<DescriptorArena>(
+      machine, machine->config().num_processors(), capacity,
+      KernelConfig{}.desc_magazine_size,
+      std::vector<std::vector<hsim::ModuleId>>{modules});
+  arena_ = owned_arena_.get();
+}
+
+PageHashTable::PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
+                             std::uint32_t num_bins, DescriptorArena* arena)
+    : arena_(arena) {
   bins_.reserve(num_bins);
   for (std::uint32_t b = 0; b < num_bins; ++b) {
     bins_.push_back(&machine->AllocWord(modules[b % modules.size()], kNilDesc));
-  }
-  descriptors_.reserve(capacity);
-  free_list_.reserve(capacity);
-  for (std::uint32_t i = 0; i < capacity; ++i) {
-    const hsim::ModuleId home = modules[i % modules.size()];
-    PageDescriptor d;
-    d.page = &machine->AllocWord(home, 0);
-    d.next = &machine->AllocWord(home, kNilDesc);
-    d.reserve = &machine->AllocWord(home, hsim::SimReserve::kFree);
-    d.flags = &machine->AllocWord(home, 0);
-    d.ref_count = &machine->AllocWord(home, 0);
-    d.replicas = &machine->AllocWord(home, 0);
-    d.payload.reserve(KernelConfig::kPayloadWords);
-    for (std::uint32_t w = 0; w < KernelConfig::kPayloadWords; ++w) {
-      d.payload.push_back(&machine->AllocWord(home, 0));
-    }
-    descriptors_.push_back(std::move(d));
-    free_list_.push_back(capacity - i);  // hand out low indices first
   }
 }
 
@@ -48,13 +42,11 @@ hsim::Task<DescRef> PageHashTable::Lookup(hsim::Processor& p, std::uint64_t page
 }
 
 hsim::Task<DescRef> PageHashTable::Insert(hsim::Processor& p, std::uint64_t page) {
-  if (free_list_.empty()) {
+  const DescRef ref = co_await arena_->Alloc(p);
+  if (ref == kNilDesc) {
     co_return kNilDesc;
   }
-  const DescRef ref = free_list_.back();
-  free_list_.pop_back();
   ++live_;
-  co_await p.Exec(4, 1);  // pool allocation bookkeeping
   PageDescriptor& d = desc(ref);
   co_await p.Store(*d.page, page);
   co_await p.Store(*d.flags, 0);
@@ -80,8 +72,7 @@ hsim::Task<bool> PageHashTable::Remove(hsim::Processor& p, std::uint64_t page) {
       // Scrub identity but keep the reserve word type-stable: a late spinner
       // observes kFree (or the next owner's state), never garbage.
       co_await p.Store(*desc(ref).page, 0);
-      co_await p.Exec(3, 1);  // free-list bookkeeping
-      free_list_.push_back(ref);
+      co_await arena_->Free(p, ref);
       --live_;
       co_return true;
     }

@@ -2,10 +2,14 @@
 // (Figure 1 / Figure 2 of the paper).
 //
 // Every cluster instantiates its own table, protected by one coarse-grained
-// lock (owned by ClusterKernel, not by the table).  Descriptors are allocated
-// from a per-cluster, type-stable pool: memory used for a page descriptor is
-// only ever reused for another page descriptor, which is what makes spinning
-// on a freed descriptor's reserve word safe (paper footnote 2).
+// lock (owned by ClusterKernel, not by the table).  Descriptors come from the
+// machine-wide DescriptorArena (src/hkernel/desc_arena.h): a halloc slab
+// allocator whose refs are partitioned per cluster, so allocation is
+// cluster-local on the fast path yet one cluster can borrow from the shared
+// depot when its own range runs dry.  The arena is type-stable: memory used
+// for a page descriptor is only ever reused for another page descriptor,
+// which is what makes spinning on a freed descriptor's reserve word safe
+// (paper footnote 2).
 //
 // All table operations must be called with the cluster's coarse lock held.
 // They walk real simulated memory, so the time the coarse lock is held -- and
@@ -15,37 +19,31 @@
 #define HKERNEL_PAGE_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/hkernel/config.h"
+#include "src/hkernel/desc_arena.h"
 #include "src/hsim/machine.h"
 #include "src/hsim/task.h"
 
 namespace hkernel {
-
-// Index of a descriptor within a cluster pool, offset by one; 0 means nil.
-using DescRef = std::uint32_t;
-inline constexpr DescRef kNilDesc = 0;
-
-struct PageDescriptor {
-  hsim::SimWord* page;       // page identifier this descriptor describes
-  hsim::SimWord* next;       // hash chain link (DescRef)
-  hsim::SimWord* reserve;    // reserve word (see hsim::SimReserve)
-  hsim::SimWord* flags;      // kFlagPresent | kFlagHome
-  hsim::SimWord* ref_count;  // per-cluster mapping reference count
-  hsim::SimWord* replicas;   // home only: bitmask of clusters holding replicas
-  std::vector<hsim::SimWord*> payload;  // data copied on replication
-};
 
 inline constexpr std::uint64_t kFlagPresent = 1;  // payload is valid
 inline constexpr std::uint64_t kFlagHome = 2;     // this cluster is the page's home
 
 class PageHashTable {
  public:
-  // `modules` are the memory modules of the owning cluster; bins and
-  // descriptors are spread round-robin across them.
+  // Standalone table with a private single-cluster arena: `modules` are the
+  // memory modules of the owning cluster; bins and descriptors are spread
+  // round-robin across them.  Used by tests and single-cluster setups.
   PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
                 std::uint32_t num_bins, std::uint32_t capacity);
+
+  // Table over a shared machine-wide arena (KernelSystem builds one arena and
+  // every cluster's table draws from it).  The table owns only its bins.
+  PageHashTable(hsim::Machine* machine, std::vector<hsim::ModuleId> modules,
+                std::uint32_t num_bins, DescriptorArena* arena);
 
   PageHashTable(const PageHashTable&) = delete;
   PageHashTable& operator=(const PageHashTable&) = delete;
@@ -53,19 +51,23 @@ class PageHashTable {
   // Searches the hash chain for `page`.  Returns kNilDesc if absent.
   hsim::Task<DescRef> Lookup(hsim::Processor& p, std::uint64_t page);
 
-  // Allocates a descriptor for `page` and links it at the head of its chain.
-  // `page` must not already be present.  Returns kNilDesc if the pool is
-  // exhausted.
+  // Allocates a descriptor for `page` from the arena (near `p`'s cluster) and
+  // links it at the head of its chain.  `page` must not already be present.
+  // Returns kNilDesc if the arena is exhausted.
   hsim::Task<DescRef> Insert(hsim::Processor& p, std::uint64_t page);
 
   // Unlinks and frees the descriptor for `page`.  Returns false if absent.
   hsim::Task<bool> Remove(hsim::Processor& p, std::uint64_t page);
 
-  PageDescriptor& desc(DescRef ref) { return descriptors_[ref - 1]; }
-  const PageDescriptor& desc(DescRef ref) const { return descriptors_[ref - 1]; }
+  PageDescriptor& desc(DescRef ref) { return arena_->desc(ref); }
+  const PageDescriptor& desc(DescRef ref) const { return arena_->desc(ref); }
 
-  std::uint32_t capacity() const { return static_cast<std::uint32_t>(descriptors_.size()); }
+  // Descriptors available to this table's cluster before it has to lean on
+  // the depot (the old per-table pool size).
+  std::uint32_t capacity() const { return arena_->objects_per_cluster(); }
   std::uint32_t live() const { return live_; }
+
+  DescriptorArena& arena() { return *arena_; }
 
  private:
   std::uint32_t BinOf(std::uint64_t page) const {
@@ -76,8 +78,8 @@ class PageHashTable {
   }
 
   std::vector<hsim::SimWord*> bins_;  // each holds a DescRef
-  std::vector<PageDescriptor> descriptors_;
-  std::vector<DescRef> free_list_;
+  std::unique_ptr<DescriptorArena> owned_arena_;  // standalone ctor only
+  DescriptorArena* arena_;
   std::uint32_t live_ = 0;
 };
 

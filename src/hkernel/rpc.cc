@@ -16,6 +16,7 @@ namespace {
 // Transports a packet to the target processor after the interrupt-delivery
 // latency.  Runs as a detached engine task; the packet travels by value, so
 // duplicates and late copies have no lifetime tie to the initiator's frame.
+// Fallback path only: the pooled variant below is the normal wire.
 hsim::Task<void> DeliverAfter(hsim::Engine* engine, hsim::Tick transit, CpuKernel* target,
                               RpcPacket packet) {
   co_await engine->Delay(transit);
@@ -24,6 +25,22 @@ hsim::Task<void> DeliverAfter(hsim::Engine* engine, hsim::Tick transit, CpuKerne
   } else {
     target->Deliver(packet);
   }
+}
+
+// Pooled wire buffer: the envelope was allocated from the packet pool at the
+// sender's cluster and is returned to it at the receiver's, so every
+// cross-cluster packet contributes alloc/free drift to the slab depot exactly
+// as a real wire buffer would migrate between per-node caches.
+hsim::Task<void> DeliverAfterPooled(hsim::Engine* engine, hsim::Tick transit, CpuKernel* target,
+                                    halloc::SlabAllocator<RpcPacket>* pool,
+                                    hsim::ProcId target_proc, RpcPacket* env) {
+  co_await engine->Delay(transit);
+  if (env->is_reply) {
+    target->DeliverReply(*env);
+  } else {
+    target->Deliver(*env);
+  }
+  pool->FreeFor(target_proc, env);
 }
 
 }  // namespace
@@ -44,10 +61,25 @@ void CpuKernel::SendPacket(hsim::Processor& p, hsim::ProcId target, const RpcPac
   hsim::Machine& machine = system_->machine();
   hsim::Engine& engine = machine.engine();
   CpuKernel& dest = system_->cpu(target);
+  halloc::SlabAllocator<RpcPacket>& pool = system_->packet_pool();
+
+  // Launches one delivery: envelope from the pool (allocated at this
+  // processor's cluster, freed at the target's) or, if the pool is dry under
+  // a fault storm, the by-value fallback.
+  const auto launch = [&](hsim::Tick transit) {
+    RpcPacket* env = pool.AllocFor(p.id());
+    if (env != nullptr) {
+      *env = packet;
+      engine.Spawn(DeliverAfterPooled(&engine, transit, &dest, &pool, target, env));
+    } else {
+      ++system_->counters().rpc_pool_fallbacks;
+      engine.Spawn(DeliverAfter(&engine, transit, &dest, packet));
+    }
+  };
 
   hsim::FaultPlan* plan = machine.fault_plan();
   if (plan == nullptr) {
-    engine.Spawn(DeliverAfter(&engine, cfg.rpc_transit, &dest, packet));
+    launch(cfg.rpc_transit);
     return;
   }
   const hsim::FaultLeg leg = packet.is_reply ? hsim::FaultLeg::kReply : hsim::FaultLeg::kRequest;
@@ -61,10 +93,10 @@ void CpuKernel::SendPacket(hsim::Processor& p, hsim::ProcId target, const RpcPac
   if (decision.drop) {
     return;
   }
-  engine.Spawn(DeliverAfter(&engine, cfg.rpc_transit + decision.extra_delay, &dest, packet));
+  launch(cfg.rpc_transit + decision.extra_delay);
   if (decision.duplicate) {
-    engine.Spawn(
-        DeliverAfter(&engine, cfg.rpc_transit + decision.dup_extra_delay, &dest, packet));
+    // A duplicate is its own wire buffer: two envelopes in flight.
+    launch(cfg.rpc_transit + decision.dup_extra_delay);
   }
 }
 

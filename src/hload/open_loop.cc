@@ -25,11 +25,20 @@ void RunnerResult::Merge(const RunnerResult& other) {
 
 RunnerResult LoadRunner::Run() {
   const std::uint32_t clusters = config_.workload.num_clusters;
+  // One slab pool shared by all generators, clustered per generator: the
+  // per-op alloc/free stays in the generator's own magazines, and the shared
+  // depot lets a generator whose range runs dry borrow from a quieter one
+  // before declaring pool_exhausted.
+  halloc::SlabConfig pool_cfg;
+  pool_cfg.objects_per_cluster = config_.pool_size;
+  pool_cfg.magazine_size = 8;
+  halloc::SlabAllocator<hsvc::Request> pool(clusters, pool_cfg);
   std::vector<RunnerResult> partials(clusters);
   std::vector<std::thread> generators;
   generators.reserve(clusters);
   for (std::uint32_t c = 0; c < clusters; ++c) {
-    generators.emplace_back([this, c, &partials] { partials[c] = RunGenerator(c); });
+    generators.emplace_back(
+        [this, c, &partials, &pool] { partials[c] = RunGenerator(c, &pool); });
   }
   RunnerResult merged;
   for (std::uint32_t c = 0; c < clusters; ++c) {
@@ -39,7 +48,8 @@ RunnerResult LoadRunner::Run() {
   return merged;
 }
 
-RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
+RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
+                                      halloc::SlabAllocator<hsvc::Request>* pool) {
   using hsvc::Request;
   using hsvc::Service;
 
@@ -52,14 +62,8 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
   // depends on service behavior and must not perturb the plan.
   hsim::Rng jitter(config_.workload.seed * 0xD6E8FEB86659FD93ull + cluster + 1);
 
-  std::vector<Request> pool(config_.pool_size);
+  pool->RegisterThread(cluster);
   hlock::LockFreeFreeList completed;
-  std::vector<Request*> free_nodes;
-  free_nodes.reserve(pool.size());
-  for (Request& req : pool) {
-    req.completion = &completed;
-    free_nodes.push_back(&req);
-  }
   std::uint64_t in_flight = 0;
 
   const auto harvest = [&] {
@@ -82,7 +86,7 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
       result.latency.Record(req->done_ns > req->scheduled_ns
                                 ? req->done_ns - req->scheduled_ns
                                 : 0);
-      free_nodes.push_back(req);
+      pool->Free(req);
     }
   };
 
@@ -108,7 +112,7 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
     if (req->retries >= config_.max_retries) {
       ++result.rejected_final;
       result.latency.RecordAsOf(req->scheduled_ns, Service::NowNs());
-      free_nodes.push_back(req);
+      pool->Free(req);
       return;
     }
     const std::uint64_t backoff_ns = static_cast<std::uint64_t>(admit.retry_after_us) *
@@ -149,15 +153,18 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
       const std::uint64_t nap = next > now ? next - now : 0;
       std::this_thread::sleep_for(std::chrono::nanoseconds(std::min<std::uint64_t>(nap, 100000)));
     }
-    if (free_nodes.empty()) {
-      // The pool is the offered-load guarantee: without a free node we are
-      // not an open-loop generator any more.  Count it loudly.
+    Request* req = pool->Alloc();
+    if (req == nullptr) {
+      // The pool is the offered-load guarantee: without a free node (our own
+      // range and the depot both dry) we are not an open-loop generator any
+      // more.  Count it loudly.
       ++result.pool_exhausted;
       result.latency.RecordAsOf(sched, Service::NowNs());
       continue;
     }
-    Request* req = free_nodes.back();
-    free_nodes.pop_back();
+    // A node can migrate between generators through the depot, so its
+    // completion stack is per-allocation state, not per-node init.
+    req->completion = &completed;
     req->kind = op.is_write ? hsvc::OpKind::kPut : hsvc::OpKind::kGet;
     req->key = op.key;
     req->value_in = op.at_ns;  // any deterministic payload
@@ -179,7 +186,7 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster) {
     retry_heap.pop();
     ++result.abandoned;
     result.latency.RecordAsOf(req->scheduled_ns, close_ns);
-    free_nodes.push_back(req);
+    pool->Free(req);
   }
   while (in_flight > 0) {
     harvest();

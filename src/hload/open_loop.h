@@ -15,17 +15,22 @@
 // hint, up to max_retries, from a jitter stream separate from the plan
 // stream so the plan replays identically across runs.
 //
-// Requests come from a fixed per-generator pool (type-stable, footnote-2
-// discipline); completions return through a lock-free stack.  A planned op
-// that finds the pool empty is counted (pool_exhausted) rather than silently
-// skipped -- at that point the generator is no longer offering the
-// configured load and the run's numbers say so.
+// Requests come from a shared halloc slab allocator clustered per generator
+// (type-stable, footnote-2 discipline): each generator registers its thread
+// on its own cluster, so the alloc/free fast path stays in that cluster's
+// magazines, while a generator that outruns its own range can borrow from
+// the shared depot instead of stalling.  Completions return through a
+// lock-free stack.  A planned op that finds the whole pool empty is counted
+// (pool_exhausted) rather than silently skipped -- at that point the
+// generator is no longer offering the configured load and the run's numbers
+// say so.
 
 #ifndef HLOAD_OPEN_LOOP_H_
 #define HLOAD_OPEN_LOOP_H_
 
 #include <cstdint>
 
+#include "src/halloc/slab_allocator.h"
 #include "src/hload/recorder.h"
 #include "src/hload/workload.h"
 #include "src/hsvc/service.h"
@@ -85,7 +90,8 @@ class LoadRunner {
   RunnerResult Run();
 
  private:
-  RunnerResult RunGenerator(std::uint32_t cluster);
+  RunnerResult RunGenerator(std::uint32_t cluster,
+                            halloc::SlabAllocator<hsvc::Request>* pool);
 
   hsvc::Service* service_;
   RunnerConfig config_;

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 
 #include "src/hlock/platform.h"
 
@@ -35,6 +36,19 @@ class BasicLockFreeCounter {
 
   // Single-word compare-and-swap update, the paper's "changes performed as a
   // series of atomic operations on single words" pattern.
+  //
+  // Contract (pinned; tests/hlock/lock_free_contract_test.cc guards it):
+  //   - Returns the value the counter held immediately BEFORE fn was applied
+  //     -- fetch_add-style, so `Update(f) == old` and the counter now holds
+  //     `f(old)`.  Callers branch on the pre-update value (e.g. "was this
+  //     the transition past the threshold?"); returning the new value would
+  //     silently shift every such test by one step.
+  //   - fn may be called multiple times (once per CAS attempt) and must be
+  //     a pure function of its argument.
+  //   - The successful CAS is acq_rel: it synchronizes with other successful
+  //     updates of this counter, so read-modify-write chains across threads
+  //     are ordered.  The failure order is relaxed -- a failed attempt only
+  //     feeds the retry's fn and publishes nothing.
   template <typename Fn>
   std::int64_t Update(Fn fn) {
     std::int64_t current = value_.load(std::memory_order_relaxed);
@@ -59,6 +73,13 @@ class BasicLockFreeFreeList {
  public:
   using Node = BasicLockFreeNode<Platform>;
 
+ private:
+  struct Head {
+    Node* node = nullptr;
+    std::uint64_t version = 0;
+  };
+
+ public:
   void Push(Node* node) {
     Head expected = head_.load(std::memory_order_relaxed);
     Head desired;
@@ -86,13 +107,63 @@ class BasicLockFreeFreeList {
 
   bool empty() const { return head_.load(std::memory_order_acquire).node == nullptr; }
 
+  // --- lock-freedom introspection -------------------------------------------
+  // Head is 16 bytes (pointer + version), which is only genuinely lock-free
+  // on hardware with a double-width CAS (x86-64 cmpxchg16b -- and only when
+  // the build enables it, e.g. -mcx16; aarch64 needs LSE).  WITHOUT it,
+  // libatomic silently backs every Head operation with a HIDDEN GLOBAL
+  // MUTEX: still linearizable, but the "lock-free" completion path can now
+  // block, invert priorities, and deadlock if ever used from a context that
+  // cannot take locks (the Section 5.3 interrupt-handler motivation).  That
+  // fallback is invisible at the call site, so it is surfaced three ways:
+  // this constant, the svc.freelist_lock_free hmetrics gauge exported by
+  // hsvc::Service, and the one-time stderr warning below.
+  //
+  // Model-checker platforms substitute their own Atomic without the
+  // std::atomic introspection surface; there the implementation is the
+  // checker's simulated memory (no hidden mutex), reported as lock-free.
+  static constexpr bool kHeadIsAlwaysLockFree = [] {
+    if constexpr (requires {
+                    Platform::template Atomic<Head>::is_always_lock_free;
+                  }) {
+      return Platform::template Atomic<Head>::is_always_lock_free;
+    } else {
+      return true;
+    }
+  }();
+
+  // Runtime answer for this list instance (std::atomic allows a per-object
+  // answer; falls back to the compile-time one where there is no runtime
+  // query).
+  bool head_is_lock_free() const {
+    if constexpr (requires { head_.is_lock_free(); }) {
+      return head_.is_lock_free();
+    } else {
+      return kHeadIsAlwaysLockFree;
+    }
+  }
+
+  // Loud one-time startup detection: call from a subsystem that relies on
+  // the non-blocking property (hsvc's completion path does, in its Service
+  // constructor).  Returns kHeadIsAlwaysLockFree so callers can also export
+  // it as a gauge.
+  static bool WarnIfNotLockFree(const char* where) {
+    if constexpr (!kHeadIsAlwaysLockFree) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "hlock: BasicLockFreeFreeList at %s is NOT lock-free: "
+                     "16-byte atomic Head falls back to a hidden libatomic "
+                     "mutex on this target/build (no double-width CAS; on "
+                     "x86-64 compile with -mcx16).  Correctness is "
+                     "unaffected, but the path can block.\n",
+                     where);
+      }
+    }
+    return kHeadIsAlwaysLockFree;
+  }
+
  private:
-  struct Head {
-    Node* node = nullptr;
-    std::uint64_t version = 0;
-  };
-  // 16-byte atomic: uses cmpxchg16b where available, a libatomic lock
-  // otherwise (still correct).
   typename Platform::template Atomic<Head> head_{};
 };
 

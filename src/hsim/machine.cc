@@ -48,6 +48,15 @@ Task<void> Processor::Store(SimWord& word, std::uint64_t value) {
 
 void Processor::PostStore(SimWord& word, std::uint64_t value) {
   ++stats_.mem_stores;
+  // Write-buffered, but the store still lands at the home module: classify
+  // its locality by the same route Access would have taken.
+  if (word.home == module()) {
+    ++stats_.loc_local;
+  } else if (machine_->station_of(module()) == machine_->station_of(word.home)) {
+    ++stats_.loc_station;
+  } else {
+    ++stats_.loc_ring;
+  }
   word.value = value;
   machine_->memory(word.home).Reserve(machine_->config().mem_service);
 }
@@ -167,6 +176,7 @@ Task<std::uint64_t> Processor::Access(SimWord& word, AccessKind kind, std::uint6
 
   if (target == source) {
     // Local access: memory module only, no bus or ring traffic.
+    ++stats_.loc_local;
     std::uint64_t old = apply();
     co_await mem.UseOverlapped(mem_visible, mem_hold);
     co_return old;
@@ -178,6 +188,7 @@ Task<std::uint64_t> Processor::Access(SimWord& word, AccessKind kind, std::uint6
   if (src_station == dst_station) {
     // On-station access: request over the bus, memory service, response over
     // the bus.
+    ++stats_.loc_station;
     co_await m.bus(src_station).Use(cfg.bus_request);
     std::uint64_t old = apply();
     co_await mem.UseOverlapped(mem_visible, mem_hold);
@@ -191,6 +202,7 @@ Task<std::uint64_t> Processor::Access(SimWord& word, AccessKind kind, std::uint6
 
   // Cross-ring access: source bus -> ring -> destination bus -> memory and
   // back along the same path.
+  ++stats_.loc_ring;
   co_await m.bus(src_station).Use(cfg.ring_bus_hold);
   co_await m.ring().Use(cfg.ring_hold);
   co_await m.bus(dst_station).Use(cfg.ring_bus_hold);
@@ -244,11 +256,13 @@ Task<std::uint64_t> Processor::CoherentAccess(SimWord& word, AccessKind kind,
   // satisfies everything, including cache-based atomics (the Section 5.2
   // primitives that "permit a lock to be acquired without going to memory").
   if (!is_write && (word.sharers & me) != 0) {
+    ++stats_.loc_local;  // cache hit: no interconnect traffic
     std::uint64_t old = apply();
     co_await engine().Delay(cfg.cache_hit_cycles);
     co_return old;
   }
   if (is_write && word.owner == id_ && word.sharers == me) {
+    ++stats_.loc_local;
     std::uint64_t old = apply();
     co_await engine().Delay(is_rmw ? cfg.cached_rmw_cycles : cfg.cache_hit_cycles);
     co_return old;
@@ -265,15 +279,18 @@ Task<std::uint64_t> Processor::CoherentAccess(SimWord& word, AccessKind kind,
   }
   std::uint64_t old;
   if (word.home == module()) {
+    ++stats_.loc_local;
     old = apply();
     co_await m.memory(word.home).UseOverlapped(cfg.mem_service, mem_hold);
   } else if (src_station == dst_station) {
+    ++stats_.loc_station;
     co_await m.bus(src_station).Use(cfg.bus_request);
     old = apply();
     co_await m.memory(word.home).UseOverlapped(cfg.mem_service, mem_hold);
     co_await m.bus(src_station).Use(cfg.bus_response);
     co_await engine().Delay(cfg.remote_pad);
   } else {
+    ++stats_.loc_ring;
     co_await m.bus(src_station).Use(cfg.ring_bus_hold);
     co_await m.ring().Use(cfg.ring_hold);
     co_await m.bus(dst_station).Use(cfg.ring_bus_hold);

@@ -23,7 +23,19 @@ struct OpStats {
   std::uint64_t branches = 0;     // branches, including returns
   std::uint64_t idle_cycles = 0;  // backoff delay cycles (no memory traffic)
 
+  // NUMA locality of completed memory references (loads, stores, atomics),
+  // classified by the route the access took: the processor's own module, a
+  // sibling module on the same station, or across the ring.  These are the
+  // per-processor version of the paper's traffic argument -- an allocator or
+  // lock is NUMA-friendly exactly when its loc_ring share is small -- and
+  // what bench/alloc_scaling gates.  Pure observers: incrementing them never
+  // changes timing, so every pre-existing series is bit-identical.
+  std::uint64_t loc_local = 0;    // served by the local module (or cache hit)
+  std::uint64_t loc_station = 0;  // same-station remote module
+  std::uint64_t loc_ring = 0;     // crossed the inter-station ring
+
   std::uint64_t mem_accesses() const { return mem_loads + mem_stores; }
+  std::uint64_t loc_total() const { return loc_local + loc_station + loc_ring; }
 
   OpStats operator-(const OpStats& other) const {
     OpStats d;
@@ -33,6 +45,9 @@ struct OpStats {
     d.reg_instrs = reg_instrs - other.reg_instrs;
     d.branches = branches - other.branches;
     d.idle_cycles = idle_cycles - other.idle_cycles;
+    d.loc_local = loc_local - other.loc_local;
+    d.loc_station = loc_station - other.loc_station;
+    d.loc_ring = loc_ring - other.loc_ring;
     return d;
   }
 
@@ -43,6 +58,9 @@ struct OpStats {
     reg_instrs += other.reg_instrs;
     branches += other.branches;
     idle_cycles += other.idle_cycles;
+    loc_local += other.loc_local;
+    loc_station += other.loc_station;
+    loc_ring += other.loc_ring;
     return *this;
   }
 };
@@ -59,6 +77,9 @@ inline void ChargeOpStats(hmetrics::Registry* registry, const OpStats& stats,
   registry->counter("sim.reg_instrs", labels).Add(stats.reg_instrs);
   registry->counter("sim.branches", labels).Add(stats.branches);
   registry->counter("sim.idle_cycles", labels).Add(stats.idle_cycles);
+  registry->counter("sim.loc_local", labels).Add(stats.loc_local);
+  registry->counter("sim.loc_station", labels).Add(stats.loc_station);
+  registry->counter("sim.loc_ring", labels).Add(stats.loc_ring);
 }
 
 }  // namespace hsim

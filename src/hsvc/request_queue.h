@@ -3,17 +3,40 @@
 // The algorithm is the same Vyukov intrusive MPSC list the SoftIrqGate uses
 // (producers exchange the head, the single consumer chases next pointers
 // through a stub node), plus an admission counter that makes it *bounded*:
-// TryPush reserves a slot with a fetch_add and backs out when the bound is
-// exceeded, so under overload producers learn "full" in two uncontended
-// atomic ops instead of growing an unbounded backlog -- admission control
-// rejects at the door, which is what keeps service latency bounded when
-// offered load exceeds capacity (the queueing-collapse alternative is the
-// whole reason hsvc exists).
+// producers claim a slot with a bounded CAS on the depth counter, so under
+// overload they learn "full" in a couple of uncontended atomic ops instead of
+// growing an unbounded backlog -- admission control rejects at the door,
+// which is what keeps service latency bounded when offered load exceeds
+// capacity (the queueing-collapse alternative is the whole reason hsvc
+// exists).
+//
+// Admission contract:
+//   - depth() counts admitted-but-not-yet-popped items, including items a
+//     producer has claimed a slot for but is still linking in.  The
+//     invariant depth() <= bound() holds in EVERY reachable state: a failed
+//     TryPush never modifies the counter.
+//   - TryPush returns false only when bound() items were genuinely admitted
+//     and unpopped at the moment of its (failed) claim.  An earlier version
+//     reserved with fetch_add and backed the failure out with fetch_sub;
+//     between those two operations depth transiently exceeded the bound, so
+//     a concurrent producer racing a concurrent Pop could be rejected while
+//     the queue held fewer than bound() items ("phantom full" -- spurious
+//     admission-control drops right at the knee of the load curve, exactly
+//     where the open-loop benches measure).  The CAS claim closes that
+//     window by construction; tests/hcheck/request_queue_hcheck_test.cc
+//     model-checks that a quiescent non-full queue never rejects.
+//   - The successful claim CAS is acq_rel (it pairs with other claims and
+//     with Pop's release decrement); the reload on CAS failure is relaxed --
+//     a failed attempt publishes nothing.  Pop's decrement in Take is
+//     release, so a producer whose claim reads the decremented count also
+//     observes the consumer's detachment of the popped item.
 //
 // Nodes are caller-owned (type-stable request pools, the footnote-2
 // discipline): the queue never allocates or frees.  T must expose a
-// `std::atomic<T*> mpsc_next` member and be default-constructible (one
-// private T serves as the stub; it is never handed out).
+// `Platform::Atomic<T*> mpsc_next` member and be default-constructible (one
+// private T serves as the stub; it is never handed out).  The Platform
+// policy (default StdPlatform = std::atomic) exists so the admission
+// protocol itself can run under the hcheck model checker.
 //
 // Producer-side state (head_, depth_) lives on its own cache lines via
 // hlock::Padded so a busy submit path does not ping-pong the consumer's
@@ -26,10 +49,11 @@
 #include <cstddef>
 
 #include "src/hlock/padded.h"
+#include "src/hlock/platform.h"
 
 namespace hsvc {
 
-template <typename T>
+template <typename T, class Platform = hlock::StdPlatform>
 class BoundedMpscQueue {
  public:
   explicit BoundedMpscQueue(std::size_t bound) : bound_(bound) {
@@ -40,13 +64,17 @@ class BoundedMpscQueue {
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
 
   // Any-thread.  Returns false (and leaves `item` untouched beyond its
-  // mpsc_next) when the queue already holds `bound` items.
+  // mpsc_next) when the queue already holds `bound` admitted items.  See the
+  // admission contract above: failure never perturbs the counter.
   bool TryPush(T* item) {
-    const std::size_t depth = depth_->fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (depth > bound_) {
-      depth_->fetch_sub(1, std::memory_order_relaxed);
-      return false;
-    }
+    std::size_t depth = depth_->load(std::memory_order_relaxed);
+    do {
+      if (depth >= bound_) {
+        return false;
+      }
+    } while (!depth_->compare_exchange_weak(depth, depth + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
     item->mpsc_next.store(nullptr, std::memory_order_relaxed);
     T* prev = head_->exchange(item, std::memory_order_acq_rel);
     prev->mpsc_next.store(item, std::memory_order_release);
@@ -87,21 +115,24 @@ class BoundedMpscQueue {
   }
 
   // Occupancy as the admission counter sees it (includes items a producer is
-  // still linking in).  Any-thread; advisory.
+  // still linking in).  Any-thread; advisory, but never exceeds bound().
   std::size_t depth() const { return depth_->load(std::memory_order_relaxed); }
   std::size_t bound() const { return bound_; }
 
  private:
   T* Take(T* item, T* next) {
     tail_ = next;
-    depth_->fetch_sub(1, std::memory_order_relaxed);
+    // Release: a producer whose claim CAS reads this decrement also sees the
+    // pop it paid for (the claim side is acq_rel).
+    depth_->fetch_sub(1, std::memory_order_release);
     return item;
   }
 
   const std::size_t bound_;
-  hlock::Padded<std::atomic<T*>> head_;           // producers
-  hlock::Padded<std::atomic<std::size_t>> depth_{0};  // producers + consumer
-  alignas(hlock::kCacheLineSize) T* tail_;        // consumer only
+  hlock::Padded<typename Platform::template Atomic<T*>> head_;  // producers
+  hlock::Padded<typename Platform::template Atomic<std::size_t>> depth_{
+      0};  // producers + consumer
+  alignas(hlock::kCacheLineSize) T* tail_;  // consumer only
   T stub_;
 };
 

@@ -23,6 +23,11 @@ std::uint64_t Service::NowNs() {
 }
 
 Service::Service(const ServiceConfig& config) : config_(config) {
+  // The completion path hands finished requests back through a
+  // LockFreeFreeList; if this build's 16-byte atomic head degraded to the
+  // hidden libatomic mutex, say so loudly once (and export it as the
+  // svc.freelist_lock_free gauge below).
+  hlock::LockFreeFreeList::WarnIfNotLockFree("hsvc completion path");
   runtime_ = std::make_unique<hcluster::ClusterRuntime>(config_.topology);
   table_ = std::make_unique<hcluster::ClusteredTable<std::uint64_t, std::uint64_t>>(
       runtime_.get(), config_.buckets_per_cluster, config_.read_path);
@@ -285,6 +290,11 @@ void Service::ExportMetrics(hmetrics::Registry* out) const {
     out->counter("svc.combined_gets", labels).Add(combined);
     out->gauge("svc.queue_depth", labels).Set(depth);
   }
+  // 1 when the completion free list's 16-byte head is genuinely lock-free on
+  // this target/build, 0 when libatomic backs it with a hidden mutex (see
+  // lock_free.h).  Not per-shard: the property is a property of the build.
+  out->gauge("svc.freelist_lock_free", {})
+      .Set(hlock::LockFreeFreeList::kHeadIsAlwaysLockFree ? 1 : 0);
 }
 
 }  // namespace hsvc

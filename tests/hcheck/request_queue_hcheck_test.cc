@@ -1,0 +1,97 @@
+// Model-checks the BoundedMpscQueue admission contract (the bugfix pinned in
+// src/hsvc/request_queue.h):
+//
+//   1. depth() <= bound() in EVERY reachable state.  The pre-fix TryPush
+//      reserved with fetch_add and backed failure out with fetch_sub, so
+//      between the two the counter transiently exceeded the bound ("phantom
+//      full") -- the depth invariant below fails on that version in the
+//      schedule where the observer reads between reserve and backout.
+//   2. A failed TryPush never perturbs the counter, so once the queue is
+//      quiescent and non-full, TryPush must succeed -- the phantom-full drop
+//      is impossible by construction, not just improbable.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hcheck/checker.h"
+#include "src/hcheck/platform.h"
+#include "src/hsvc/request_queue.h"
+
+namespace {
+
+// Minimal intrusive node satisfying the queue's T contract.
+struct Node {
+  hcheck::Atomic<Node*> mpsc_next{nullptr};
+};
+
+using Queue = hsvc::BoundedMpscQueue<Node, hcheck::Platform>;
+
+// Two producers race TryPush against an already-full bound-1 queue while the
+// main thread watches the admission counter: no interleaving may ever show
+// depth() > bound(), including mid-failed-push.  (The fetch_add/fetch_sub
+// version shows depth 2 here.)  With no consumer popping, both racing pushes
+// must also report full.
+TEST(RequestQueueHcheck, DepthNeverExceedsBound) {
+  hcheck::Options opts;
+  opts.max_schedules = 60000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto q = std::make_shared<Queue>(/*bound=*/1);
+    auto a = std::make_shared<Node>();
+    auto b = std::make_shared<Node>();
+    auto c = std::make_shared<Node>();
+    HCHECK_ASSERT(q->TryPush(a.get()));  // queue now full
+    auto producer = [q](std::shared_ptr<Node> n) {
+      return [q, n] { HCHECK_ASSERT(!q->TryPush(n.get())); };
+    };
+    hcheck::Thread t1 = hcheck::Spawn(producer(b));
+    hcheck::Thread t2 = hcheck::Spawn(producer(c));
+    for (int i = 0; i < 3; ++i) {
+      HCHECK_ASSERT(q->depth() <= q->bound());
+      hcheck::Yield();
+    }
+    t1.Join();
+    t2.Join();
+    HCHECK_ASSERT(q->depth() == 1);
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+// Fill a bound-1 queue, let the consumer pop the item, and synchronize with
+// it; after that edge the queue is quiescent and empty, so TryPush MUST
+// succeed.  This is the user-visible phantom-full symptom: admission control
+// rejecting at the door of a queue that is not full.
+TEST(RequestQueueHcheck, QuiescentNonFullNeverRejects) {
+  hcheck::Options opts;
+  opts.max_schedules = 60000;
+  hcheck::Result res = hcheck::Check(opts, [] {
+    auto q = std::make_shared<Queue>(/*bound=*/1);
+    auto a = std::make_shared<Node>();
+    auto b = std::make_shared<Node>();
+    auto drained = std::make_shared<hcheck::Atomic<int>>(0);
+    HCHECK_ASSERT(q->TryPush(a.get()));
+    hcheck::Thread consumer = hcheck::Spawn([q, a, drained] {
+      Node* got = nullptr;
+      while (got == nullptr) {
+        got = q->Pop();
+        if (got == nullptr) {
+          hcheck::Yield();
+        }
+      }
+      HCHECK_ASSERT(got == a.get());
+      drained->store(1, std::memory_order_release);
+    });
+    while (drained->load(std::memory_order_acquire) == 0) {
+      hcheck::Yield();
+    }
+    // The pop happened-before this point: the queue is empty and nobody else
+    // is touching it.  A full report here would be the phantom-full bug.
+    HCHECK_ASSERT(q->depth() == 0);
+    HCHECK_ASSERT(q->TryPush(b.get()));
+    HCHECK_ASSERT(q->depth() == 1);
+    consumer.Join();
+  });
+  EXPECT_FALSE(res.failed) << res.message << "\n" << res.trace;
+}
+
+}  // namespace

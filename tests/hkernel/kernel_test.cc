@@ -256,12 +256,15 @@ TEST(FaultTest, LockProfilerAttributesKernelLocks) {
   Rig rig(4);
   hprof::SiteTable sites(16.0);
   rig.system.AttachLockProfiler(&sites);
-  // 4 clusters: one page-table site each, then one region site per cluster
+  // 4 clusters: one page-table site each, then the two allocator depot locks
+  // (descriptor arena and RPC packet pool), then one region site per cluster
   // for the program created after attachment.
   Program& prog = rig.system.CreateProgram();
-  ASSERT_EQ(sites.size(), 8u);
+  ASSERT_EQ(sites.size(), 10u);
   EXPECT_EQ(sites.site(0).name(), "cluster0/page-table");
-  EXPECT_EQ(sites.site(4).name(), "program0/cluster0/region");
+  EXPECT_EQ(sites.site(4).name(), "kernel/desc-depot");
+  EXPECT_EQ(sites.site(5).name(), "kernel/rpc-packet-depot");
+  EXPECT_EQ(sites.site(6).name(), "program0/cluster0/region");
 
   FaultOutcome out;
   rig.engine.Spawn([](Rig* r, Program* pr, FaultOutcome* o) -> hsim::Task<void> {

@@ -1,0 +1,86 @@
+// Pins the BasicLockFreeCounter::Update return-value contract and the
+// free-list lock-freedom introspection added with the hot-path bugfix sweep.
+//
+// Update's contract is fetch_add-style: it returns the value held immediately
+// BEFORE fn was applied.  A refactor that returns the post-update value
+// instead silently shifts every "was this the transition?" caller by one
+// step, and no existing test would have noticed -- this one does.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/hlock/lock_free.h"
+
+namespace {
+
+TEST(LockFreeCounterContract, UpdateReturnsPreUpdateValue) {
+  hlock::LockFreeCounter counter;
+  counter.Add(41);
+  // fetch_add-style: the return is the old value, the counter holds f(old).
+  EXPECT_EQ(counter.Update([](std::int64_t v) { return v + 1; }), 41);
+  EXPECT_EQ(counter.Read(), 42);
+  // Non-monotonic fn: still old-value-out.
+  EXPECT_EQ(counter.Update([](std::int64_t v) { return v * -1; }), 42);
+  EXPECT_EQ(counter.Read(), -42);
+  // Identity fn: the "update" is a no-op but the return is still the
+  // (unchanged) pre-update value.
+  EXPECT_EQ(counter.Update([](std::int64_t v) { return v; }), -42);
+  EXPECT_EQ(counter.Read(), -42);
+}
+
+TEST(LockFreeCounterContract, ConcurrentUpdatesEachSeeDistinctPreValues) {
+  // Every Update(v -> v+1) must return a unique pre-value: if two threads
+  // ever saw the same "old", an increment was lost or the return contract
+  // broke.  4 threads x 1000 increments -> pre-values are exactly 0..3999.
+  hlock::LockFreeCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::vector<std::int64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &seen, t] {
+      for (int i = 0; i < kIters; ++i) {
+        seen[t].push_back(counter.Update([](std::int64_t v) { return v + 1; }));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.Read(), kThreads * kIters);
+  std::vector<bool> hit(kThreads * kIters, false);
+  for (const auto& vals : seen) {
+    for (std::int64_t v : vals) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, kThreads * kIters);
+      EXPECT_FALSE(hit[v]) << "pre-value " << v << " returned twice";
+      hit[v] = true;
+    }
+  }
+}
+
+TEST(LockFreeFreeListContract, LockFreedomIntrospectionIsConsistent) {
+  // Whether the 16-byte head is genuinely lock-free depends on the build
+  // (cmpxchg16b / LSE availability), so the value is not asserted.  The
+  // runtime query may only STRENGTHEN the compile-time answer (libatomic can
+  // discover cmpxchg16b at runtime even when is_always_lock_free is false),
+  // never weaken it; the warn helper must report the compile-time constant.
+  hlock::LockFreeFreeList list;
+  if (hlock::LockFreeFreeList::kHeadIsAlwaysLockFree) {
+    EXPECT_TRUE(list.head_is_lock_free());
+  }
+  EXPECT_EQ(hlock::LockFreeFreeList::WarnIfNotLockFree("contract test"),
+            hlock::LockFreeFreeList::kHeadIsAlwaysLockFree);
+
+  hlock::LockFreeNode a, b;
+  list.Push(&a);
+  list.Push(&b);
+  EXPECT_EQ(list.Pop(), &b);
+  EXPECT_EQ(list.Pop(), &a);
+  EXPECT_EQ(list.Pop(), nullptr);
+}
+
+}  // namespace
