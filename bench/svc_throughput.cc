@@ -30,19 +30,41 @@
 // and ride in the ungated series; the gated series carries only the
 // configuration-determined op counts.
 
+// A fourth section ("blame") runs a deterministic simulated contention
+// scenario -- 16 processors in 4 clusters sharing one lock, each request a
+// flight-recorded think/acquire/hold cycle -- for the kernel's coarse lock
+// (the 35 us-capped backoff spinlock) and the NUMA-aware hmcs-t, and gates
+// the hwhy headline number: the lock_wait share of the promoted p99 tail
+// must be strictly lower for hmcs-t than for coarse, and every promoted
+// ledger must reconcile with its end-to-end latency within 1%.  Simulated
+// ticks, so the series is exact and regression-gated in BENCH_BASELINE.json.
+//
+// With --why the open-loop sweep below additionally runs with a flight
+// recorder attached end to end (hload opens/closes records, hsvc stamps the
+// admit/inbox/batch boundaries and charges lock waits via the pump's
+// ScopedLedger) and prints the hwhy tail-blame report for the whole sweep;
+// --why=PATH also writes the raw hurricane-flight/1 document for the CLI.
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/hflight/blame.h"
+#include "src/hflight/flight.h"
 #include "src/hload/open_loop.h"
 #include "src/hlock/hybrid_table.h"
 #include "src/hlock/mcs_locks.h"
 #include "src/hlock/numa_locks.h"
 #include "src/hmetrics/bench_main.h"
 #include "src/hprof/lock_site.h"
+#include "src/hsim/engine.h"
+#include "src/hsim/locks/numa_lock.h"
+#include "src/hsim/locks/sim_lock.h"
+#include "src/hsim/machine.h"
 
 namespace {
 
@@ -209,6 +231,96 @@ ReadPathOutcome RunReadPathRace(hlock::ReadPath path, std::size_t ops_per_thread
   return out;
 }
 
+// --- deterministic tail-blame scenario (gated "blame" series) ---------------
+
+// 16 simulated processors in 4 station-clusters, one shared lock.  Each
+// request is one flight-recorded think/acquire/hold cycle with the stamps
+// taken from simulated time, so the promoted tail -- and therefore the hwhy
+// blame decomposition -- is bit-identical across hosts.
+constexpr std::uint32_t kBlameProcs = 16;
+constexpr std::uint32_t kBlameClusters = 4;
+constexpr double kBlameQuantile = 0.99;
+
+struct BlameOutcome {
+  double frac_lock_wait_p99 = 0;  // lock_wait share of the promoted tail
+  double frac_reconcile_ok = 0;   // 1.0 iff every promoted ledger reconciles
+  std::uint64_t closed = 0;
+  std::uint64_t tail_records = 0;
+};
+
+hsim::Task<void> BlameWorker(hsim::Processor& p, hsim::SimLock* lock,
+                             hflight::FlightRecorder* recorder, std::uint32_t site_id,
+                             hsim::ProcId* lock_owner, int requests) {
+  constexpr hsim::ProcId kNobody = ~hsim::ProcId{0};
+  for (int i = 0; i < requests; ++i) {
+    // The whole cycle is one request executing: admit/inbox/batch collapse.
+    hflight::FlightRecord* rec = recorder->Open(p.station(), p.now());
+    rec->enqueue = rec->begin;
+    rec->start = rec->begin;
+    rec->exec = rec->begin;
+    // Per-request service work ("other"), deterministically jittered per
+    // (processor, iteration) so arrivals decorrelate: a fair FIFO lock would
+    // otherwise run in a zero-variance convoy with no tail to promote.
+    std::uint64_t h = (static_cast<std::uint64_t>(p.id()) << 32 |
+                       static_cast<std::uint32_t>(i)) *
+                      0x9e3779b97f4a7c15ull;
+    h ^= h >> 29;
+    co_await p.Compute(200 + (h % 400));
+    const hsim::Tick wait_from = p.now();
+    co_await lock->Acquire(p);
+    const bool cross = *lock_owner != kNobody &&
+                       *lock_owner / (kBlameProcs / kBlameClusters) !=
+                           p.id() / (kBlameProcs / kBlameClusters);
+    rec->AddLockWait(site_id, p.now() - wait_from, cross);
+    const hsim::Tick hold_from = p.now();
+    co_await p.Compute(16);  // critical section
+    *lock_owner = p.id();
+    co_await lock->Release(p);
+    rec->AddHold(p.now() - hold_from);
+    rec->done = p.now();
+    recorder->Close(rec, hflight::Fate::kOk, p.now());
+  }
+}
+
+BlameOutcome RunBlameScenario(hsim::LockKind kind, int requests_per_proc) {
+  hsim::Engine engine;
+  hsim::Machine machine(&engine, hsim::MachineConfig{});  // 4 stations x 4
+  std::unique_ptr<hsim::SimLock> lock =
+      hsim::MakeSimLock(&machine, kind, /*home=*/0);
+
+  hflight::FlightConfig cfg;
+  cfg.clusters = kBlameClusters;
+  cfg.ring_size = 256;
+  cfg.ticks_per_us = 16.0;
+  cfg.tail_quantile = kBlameQuantile;
+  hflight::FlightRecorder recorder(cfg);
+  const std::uint32_t site_id =
+      recorder.InternSite(std::string("svc/coarse/") + hsim::LockKindName(kind));
+
+  hsim::ProcId lock_owner = ~hsim::ProcId{0};
+  for (hsim::ProcId p = 0; p < machine.num_processors(); ++p) {
+    engine.Spawn(BlameWorker(machine.processor(p), lock.get(), &recorder, site_id,
+                             &lock_owner, requests_per_proc));
+  }
+  engine.RunUntilIdle();
+
+  BlameOutcome out;
+  out.closed = recorder.closed();
+  hmetrics::JsonValue doc;
+  std::string error;
+  hflight::BlameReport blame;
+  if (hmetrics::JsonParser::Parse(recorder.ToJson(), &doc, &error) &&
+      blame.AddFlight(doc, &error) && blame.Analyze(&error)) {
+    out.frac_lock_wait_p99 = blame.phase_share(hflight::Phase::kLockWait);
+    out.frac_reconcile_ok = blame.max_reconcile_error() <= 0.01 ? 1.0 : 0.0;
+    out.tail_records = blame.tail_records();
+  } else {
+    std::fprintf(stderr, "blame scenario (%s): %s\n", hsim::LockKindName(kind),
+                 error.c_str());
+  }
+  return out;
+}
+
 struct RunOutcome {
   hload::RunnerResult load;
   std::uint64_t svc_rejected = 0;
@@ -217,15 +329,17 @@ struct RunOutcome {
 };
 
 RunOutcome RunOne(std::uint32_t clusters, double rate_per_worker, double load_factor,
-                  std::size_t ops_per_cluster) {
+                  std::size_t ops_per_cluster, hflight::FlightRecorder* flight) {
   hsvc::ServiceConfig service_config;
   service_config.topology = hcluster::Topology{clusters, 1};
   service_config.service_rate_per_worker = rate_per_worker;
   service_config.queue_bound = 16;
   service_config.batch_max = 16;
+  service_config.flight = flight;
   hsvc::Service service(service_config);
 
   hload::RunnerConfig config;
+  config.flight = flight;
   config.workload.seed = 1234;
   config.workload.num_clusters = clusters;
   config.workload.keys_per_cluster = 64;
@@ -362,6 +476,61 @@ int main(int argc, char** argv) {
                    {"reader_speedup", speedup}});
   }
 
+  // Deterministic simulated tail blame: the kernel's coarse backoff spinlock
+  // vs the NUMA-aware hmcs-t under identical request schedules.  Gated: the
+  // hwhy headline (lock_wait share of the promoted p99 tail) must stay
+  // strictly lower for hmcs-t, and every promoted ledger must reconcile
+  // within 1%.  (A fair FIFO lock is deliberately not the baseline here: its
+  // waits have so little variance that the only above-threshold totals are
+  // the startup transient's, leaving an empty steady-state tail.)
+  {
+    const int requests_per_proc = opts.smoke ? 32 : 128;
+    const BlameOutcome coarse =
+        RunBlameScenario(hsim::LockKind::kSpin35us, requests_per_proc);
+    const BlameOutcome hmcst =
+        RunBlameScenario(hsim::LockKind::kHmcsT, requests_per_proc);
+    const double below = hmcst.frac_lock_wait_p99 < coarse.frac_lock_wait_p99 ? 1.0 : 0.0;
+    printf("tail blame (simulated, %u procs / %u clusters, %d reqs/proc, q=%.2f)\n",
+           kBlameProcs, kBlameClusters, requests_per_proc, kBlameQuantile);
+    printf("%-10s %18s %14s %12s\n", "lock", "lock_wait@p99", "reconcile_ok", "tail_recs");
+    printf("%-10s %17.1f%% %14.0f %12llu\n", "coarse",
+           coarse.frac_lock_wait_p99 * 100, coarse.frac_reconcile_ok,
+           static_cast<unsigned long long>(coarse.tail_records));
+    printf("%-10s %17.1f%% %14.0f %12llu\n", "hmcs-t",
+           hmcst.frac_lock_wait_p99 * 100, hmcst.frac_reconcile_ok,
+           static_cast<unsigned long long>(hmcst.tail_records));
+    printf("hmcs-t lock_wait share strictly below coarse: %s\n\n",
+           below == 1.0 ? "yes" : "NO");
+    report.AddSeries("blame", {{"lock", "coarse"}})
+        .AddPoint({{"procs", static_cast<double>(kBlameProcs)},
+                   {"clusters", static_cast<double>(kBlameClusters)},
+                   {"quantile", kBlameQuantile},
+                   {"frac_lock_wait_p99", coarse.frac_lock_wait_p99},
+                   {"frac_reconcile_ok", coarse.frac_reconcile_ok}});
+    report.AddSeries("blame", {{"lock", "hmcs-t"}})
+        .AddPoint({{"procs", static_cast<double>(kBlameProcs)},
+                   {"clusters", static_cast<double>(kBlameClusters)},
+                   {"quantile", kBlameQuantile},
+                   {"frac_lock_wait_p99", hmcst.frac_lock_wait_p99},
+                   {"frac_reconcile_ok", hmcst.frac_reconcile_ok}});
+    report.AddSeries("blame", {{"lock", "gate"}})
+        .AddPoint({{"procs", static_cast<double>(kBlameProcs)},
+                   {"clusters", static_cast<double>(kBlameClusters)},
+                   {"frac_hmcst_below_coarse", below},
+                   {"frac_reconcile_ok",
+                    coarse.frac_reconcile_ok * hmcst.frac_reconcile_ok}});
+  }
+
+  // --why: one always-on recorder across the whole sweep (per-cluster rings
+  // sized for the largest run; native steady_clock ns, 1000 ticks/us).
+  std::unique_ptr<hflight::FlightRecorder> why_recorder;
+  if (opts.why) {
+    hflight::FlightConfig cfg;
+    cfg.clusters = cluster_counts.back();
+    cfg.ticks_per_us = 1000.0;
+    why_recorder = std::make_unique<hflight::FlightRecorder>(cfg);
+  }
+
   printf("hsvc open-loop throughput sweep (paced %.0f ops/s per worker)\n\n", rate);
   printf("%-10s %8s %12s %12s %10s %10s %10s %10s %10s\n", "regime", "clusters",
          "offered/s", "achieved/s", "completed", "failed", "rejects", "p99_ms", "p999_ms");
@@ -375,7 +544,8 @@ int main(int argc, char** argv) {
       const double offered = regime.load_factor * rate;
       const auto ops =
           static_cast<std::size_t>(window_s * offered);
-      const RunOutcome out = RunOne(clusters, rate, regime.load_factor, ops);
+      const RunOutcome out =
+          RunOne(clusters, rate, regime.load_factor, ops, why_recorder.get());
       const hload::RunnerResult& r = out.load;
 
       const double frac_completed = r.completed_fraction();
@@ -429,6 +599,28 @@ int main(int argc, char** argv) {
          "scaling at fixed per-cluster load).  overload: the completed fraction\n"
          "settles near capacity/offered with nonzero rejections -- admission control\n"
          "degrades into bounded-latency rejection, not queueing collapse.\n");
+
+  if (why_recorder != nullptr) {
+    const std::string flight_doc = why_recorder->ToJson();
+    if (!opts.why_path.empty()) {
+      std::FILE* f = std::fopen(opts.why_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", opts.why_path.c_str());
+        return 1;
+      }
+      std::fwrite(flight_doc.data(), 1, flight_doc.size(), f);
+      std::fclose(f);
+    }
+    hmetrics::JsonValue doc;
+    std::string error;
+    hflight::BlameReport blame;
+    if (!hmetrics::JsonParser::Parse(flight_doc, &doc, &error) ||
+        !blame.AddFlight(doc, &error) || !blame.Analyze(&error)) {
+      std::fprintf(stderr, "hwhy analysis failed: %s\n", error.c_str());
+      return 1;
+    }
+    printf("\n%s", blame.RenderText(10).c_str());
+  }
 
   return hmetrics::WriteReport(opts, report) ? 0 : 1;
 }

@@ -104,6 +104,18 @@ if [ "$PROFILE" = 1 ]; then
       --profile="$PROFILE_DIR/fig5_lockprof.json" \
       --trace="$PROFILE_DIR/fig5_trace.json" > "$PROFILE_DIR/fig5_report.txt"
   tail -n +1 "$PROFILE_DIR/fig5_report.txt"
+  # Surface the trace session's drop counters: a nonzero droppedSpans means
+  # the overall event cap truncated the trace and downstream reports (hprof
+  # queue depths, hwhy span exports) undercount accordingly.
+  python3 - "$PROFILE_DIR/fig5_trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+spans = doc.get("droppedSpans", 0)
+mem = doc.get("droppedMemoryEvents", 0)
+print(f"trace drops: droppedSpans={spans} droppedMemoryEvents={mem}"
+      + ("  (trace is complete)" if spans == 0 else "  (TRACE TRUNCATED)"))
+EOF
   echo "==== hprof CLI on the exported lockprof + trace documents"
   ./build/tools/hprof "$PROFILE_DIR/fig5_lockprof.json"
   ./build/tools/hprof --json "$PROFILE_DIR/fig5_trace.json" > "$PROFILE_DIR/fig5_trace_report.json"

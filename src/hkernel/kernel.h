@@ -35,6 +35,10 @@
 #include "src/hsim/machine.h"
 #include "src/hsim/task.h"
 
+namespace hflight {
+class FlightRecorder;
+}  // namespace hflight
+
 namespace hkernel {
 
 // One cluster's instantiation of the kernel data structures.  The page table
@@ -235,6 +239,17 @@ class KernelSystem {
   // nullptr to stop profiling future programs (attached sites stay attached).
   void AttachLockProfiler(hprof::SiteTable* sites);
 
+  // --- flight recording ---------------------------------------------------------
+  // Attaches a flight recorder: every CpuKernel::Call opens a per-request
+  // record (rpc phase = send-to-reply, with the per-call retransmit count)
+  // and the handler side opens a causally linked child record whose inbox
+  // phase starts at the initiator's send instant.  Records are stamped
+  // directly in p.now() ticks -- the simulator interleaves coroutines on one
+  // host thread, so no thread-local ledger is involved.  Pass nullptr to
+  // detach; the recorder must outlive the attached window.
+  void AttachFlightRecorder(hflight::FlightRecorder* recorder) { flight_ = recorder; }
+  hflight::FlightRecorder* flight() { return flight_; }
+
   // Publishes the current counter values into the attached registry.  Call
   // once at the end of a run: counters are cumulative, so publishing deltas
   // mid-run would double-count.
@@ -282,6 +297,7 @@ class KernelSystem {
   hmetrics::Registry* metrics_ = nullptr;
   hmetrics::LatencyHistogram* rpc_batch_depth_ = nullptr;
   hprof::SiteTable* lock_profiler_ = nullptr;
+  hflight::FlightRecorder* flight_ = nullptr;
 };
 
 // Creates a coarse-grained lock of the configured kind, homed on `module`.

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/hflight/flight.h"
 #include "src/hkernel/kernel.h"
 #include "src/hmetrics/trace.h"
 #include "src/hsim/engine.h"
@@ -12,6 +13,23 @@
 namespace hkernel {
 
 namespace {
+
+// Terminal fate of a flight record for an RPC leg.  kWouldDeadlock is the
+// optimistic protocol's back-off signal -- the caller retries, so the leg
+// itself ended in rejection, not error.
+hflight::Fate FateOf(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk:
+      return hflight::Fate::kOk;
+    case RpcStatus::kNotFound:
+      return hflight::Fate::kNotFound;
+    case RpcStatus::kWouldDeadlock:
+      return hflight::Fate::kRejected;
+    case RpcStatus::kPending:
+      break;
+  }
+  return hflight::Fate::kError;
+}
 
 // Transports a packet to the target processor after the interrupt-delivery
 // latency.  Runs as a detached engine task; the packet travels by value, so
@@ -147,6 +165,19 @@ hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcPacket
       span = tr->BeginSpan(hmetrics::kTraceRpc, "rpc/handle", p.id(), p.now());
       tr->AddArg(span, "op", RpcOpName(packet.op));
     }
+    // Causally linked child record: its clock starts at the initiator's send
+    // instant, so the inbox phase is the full wire + delivery-queue delay.
+    // Only the first execution opens one -- dedup hits above never get here.
+    hflight::FlightRecorder* flight = system_->flight();
+    hflight::FlightRecord* frec = nullptr;
+    if (flight != nullptr && packet.flight_id != 0) {
+      frec = flight->Open(system_->cluster_of_proc(id_),
+                          std::min<std::uint64_t>(packet.flight_send, p.now()),
+                          packet.flight_id);
+      frec->enqueue = frec->begin;
+      frec->start = p.now();
+      frec->exec = p.now();
+    }
     RpcRequest request;
     request.op = packet.op;
     request.page = packet.page;
@@ -168,6 +199,10 @@ hsim::Task<void> CpuKernel::RunHandlers(hsim::Processor& p, std::deque<RpcPacket
     src.cached_reply.status = request.status;
     src.cached_reply.payload = request.payload;
     src.has_reply = true;
+    if (frec != nullptr) {
+      frec->done = p.now();
+      flight->Close(frec, FateOf(request.status), p.now());
+    }
     if (tr != nullptr) {
       tr->EndSpan(span, p.now());
     }
@@ -240,6 +275,20 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
   packet.arg = request->arg;
   packet.src_proc = id_;
   packet.src_cluster = request->src_cluster;
+  // Caller-side flight record: the whole Call is one rpc-phase leg (the
+  // pre-send stamps collapse to begin, so Finalize attributes the full span
+  // to rpc).  The id and send instant travel on the wire for the child link.
+  hflight::FlightRecorder* flight = system_->flight();
+  hflight::FlightRecord* frec = nullptr;
+  std::uint64_t call_retransmits = 0;
+  if (flight != nullptr) {
+    frec = flight->Open(request->src_cluster, p.now());
+    frec->enqueue = frec->begin;
+    frec->start = frec->begin;
+    frec->exec = frec->begin;
+    packet.flight_id = frec->id;
+    packet.flight_send = p.now();
+  }
   call_active_ = true;
   pending_.seq = packet.seq;
   pending_.request = request;
@@ -270,6 +319,7 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
     co_await p.Compute(cfg.rpc_poll);
     if (!pending_.done && p.now() >= deadline) {
       ++system_->counters().rpc_retransmits;
+      ++call_retransmits;
       if (tr != nullptr) {
         hmetrics::TraceSession::SpanId rspan =
             tr->BeginSpan(hmetrics::kTraceRpc, "rpc/retransmit", p.id(), p.now());
@@ -288,6 +338,11 @@ hsim::Task<void> CpuKernel::Call(hsim::Processor& p, hsim::ProcId target, RpcReq
   call_active_ = false;
   co_await p.Compute(cfg.rpc_recv);
   assert(request->status != RpcStatus::kPending);
+  if (frec != nullptr) {
+    frec->AddRpc(p.now() - frec->begin, call_retransmits);
+    frec->done = p.now();
+    flight->Close(frec, FateOf(request->status), p.now());
+  }
   if (tr != nullptr) {
     tr->EndSpan(span, p.now());
   }

@@ -119,6 +119,11 @@ struct RpcPacket {
   hsim::ProcId src_proc = 0;      // the initiator (replies travel back to it)
   std::uint32_t src_cluster = 0;
   RpcStatus status = RpcStatus::kPending;
+  // Flight-recorder causal link (0 = untracked): the initiator's record id
+  // and the send instant travel with the request so the handler side can open
+  // a child record whose inbox phase starts at the wire, not at delivery.
+  std::uint64_t flight_id = 0;
+  std::uint64_t flight_send = 0;
   std::array<std::uint64_t, KernelConfig::kPayloadWords> payload{};
 };
 

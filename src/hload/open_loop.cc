@@ -70,15 +70,19 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
     while (hlock::LockFreeNode* node = completed.Pop()) {
       Request* req = Request::FromFreeLink(node);
       --in_flight;
+      hflight::Fate fate = hflight::Fate::kError;
       switch (req->status) {
         case hsvc::Status::kOk:
           ++result.ok;
+          fate = hflight::Fate::kOk;
           break;
         case hsvc::Status::kNotFound:
           ++result.notfound;
+          fate = hflight::Fate::kNotFound;
           break;
         case hsvc::Status::kExpired:
           ++result.expired;
+          fate = hflight::Fate::kExpired;
           break;
         case hsvc::Status::kPending:
           break;  // unreachable: completions always carry a terminal status
@@ -86,6 +90,14 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
       result.latency.Record(req->done_ns > req->scheduled_ns
                                 ? req->done_ns - req->scheduled_ns
                                 : 0);
+      if (req->flight != nullptr) {
+        // Close at done_ns, not harvest time: the record's total then equals
+        // the measured scheduled->done latency exactly (reply dwell in the
+        // completion stack is the harvester's, not the service's).
+        req->flight->retries = req->retries;
+        config_.flight->Close(req->flight, fate, req->done_ns);
+        req->flight = nullptr;
+      }
       pool->Free(req);
     }
   };
@@ -111,7 +123,13 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
     ++result.rejected_submits;
     if (req->retries >= config_.max_retries) {
       ++result.rejected_final;
-      result.latency.RecordAsOf(req->scheduled_ns, Service::NowNs());
+      const std::uint64_t now = Service::NowNs();
+      result.latency.RecordAsOf(req->scheduled_ns, now);
+      if (req->flight != nullptr) {
+        req->flight->retries = req->retries;
+        config_.flight->Close(req->flight, hflight::Fate::kRejected, now);
+        req->flight = nullptr;
+      }
       pool->Free(req);
       return;
     }
@@ -171,6 +189,7 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
     req->scheduled_ns = sched;
     req->deadline_ns = config_.deadline_ns == 0 ? 0 : sched + config_.deadline_ns;
     req->retries = 0;
+    req->flight = config_.flight == nullptr ? nullptr : config_.flight->Open(cluster, sched);
     ++result.issued;
     submit(req);
   }
@@ -186,6 +205,11 @@ RunnerResult LoadRunner::RunGenerator(std::uint32_t cluster,
     retry_heap.pop();
     ++result.abandoned;
     result.latency.RecordAsOf(req->scheduled_ns, close_ns);
+    if (req->flight != nullptr) {
+      req->flight->retries = req->retries;
+      config_.flight->Close(req->flight, hflight::Fate::kAbandoned, close_ns);
+      req->flight = nullptr;
+    }
     pool->Free(req);
   }
   while (in_flight > 0) {

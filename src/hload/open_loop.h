@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "src/halloc/slab_allocator.h"
+#include "src/hflight/flight.h"
 #include "src/hload/recorder.h"
 #include "src/hload/workload.h"
 #include "src/hsvc/service.h"
@@ -44,6 +45,11 @@ struct RunnerConfig {
   std::size_t pool_size = 256;       // max outstanding requests per generator
   std::uint32_t max_retries = 4;     // re-submissions after rejection
   std::uint64_t deadline_ns = 0;     // per-op deadline from *scheduled* time
+  // Optional flight recorder: when set, every issued op opens a record at
+  // its *scheduled* instant (so the ledger's total equals the measured,
+  // coordinated-omission-safe latency) and closes it with its terminal fate.
+  // Must outlive the run.
+  hflight::FlightRecorder* flight = nullptr;
 };
 
 struct RunnerResult {

@@ -28,6 +28,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 
 #include "src/hmetrics/histogram.h"
 
@@ -38,7 +39,7 @@ class LatencyRecorder {
   void Record(std::uint64_t ns) {
     ++buckets_[Index(ns)];
     ++count_;
-    sum_ += ns;
+    AddSaturating(ns);
     min_ = count_ == 1 ? ns : std::min(min_, ns);
     max_ = std::max(max_, ns);
   }
@@ -59,11 +60,18 @@ class LatencyRecorder {
       max_ = std::max(max_, other.max_);
     }
     count_ += other.count_;
-    sum_ += other.sum_;
+    AddSaturating(other.sum_);
+    if (other.sum_overflowed_) {
+      sum_overflowed_ = true;
+      sum_ = std::numeric_limits<std::uint64_t>::max();
+    }
   }
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum_ns() const { return sum_; }
+  // True once the running sum saturated at the uint64 ceiling; sum_ns() and
+  // mean_ns() are then floors rather than wrapped nonsense.
+  bool sum_overflowed() const { return sum_overflowed_; }
   std::uint64_t min_ns() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t max_ns() const { return max_; }
   double mean_ns() const {
@@ -104,6 +112,13 @@ class LatencyRecorder {
   }
 
  private:
+  void AddSaturating(std::uint64_t v) {
+    if (__builtin_add_overflow(sum_, v, &sum_)) {
+      sum_ = std::numeric_limits<std::uint64_t>::max();
+      sum_overflowed_ = true;
+    }
+  }
+
   // [0,32) ns exact, then 32 sub-buckets per power of two.
   static constexpr std::size_t kSubBits = 5;
   static constexpr std::size_t kSub = 1u << kSubBits;
@@ -131,6 +146,7 @@ class LatencyRecorder {
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  bool sum_overflowed_ = false;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
 };

@@ -13,6 +13,10 @@
 //                    contention report; with =PATH also write the raw
 //                    hurricane-lockprof/1 document (hprof CLI input) there.
 //                    Benches that support profiling document the scenario.
+//   --why[=PATH]     run with a flight recorder attached and print an hwhy
+//                    tail-blame report; with =PATH also write the raw
+//                    hurricane-flight/1 document (hwhy CLI input) there.
+//                    Benches that support it document which runs are recorded.
 //
 // Unrecognized arguments are left in place (ParseBenchArgs compacts argv), so
 // wrappers like google-benchmark keep their own flags.
@@ -36,6 +40,8 @@ struct BenchOptions {
   std::string trace_path;  // empty: tracing off
   bool profile = false;
   std::string profile_path;  // empty: report to stdout only
+  bool why = false;
+  std::string why_path;  // empty: report to stdout only
 };
 
 // Consumes the shared flags from argv (shifting the rest down and updating
@@ -59,6 +65,11 @@ inline BenchOptions ParseBenchArgs(int* argc, char** argv) {
     } else if (std::strncmp(arg, "--profile=", 10) == 0) {
       opts.profile = true;
       opts.profile_path = arg + 10;
+    } else if (std::strcmp(arg, "--why") == 0) {
+      opts.why = true;
+    } else if (std::strncmp(arg, "--why=", 6) == 0) {
+      opts.why = true;
+      opts.why_path = arg + 6;
     } else {
       argv[out++] = argv[i];
     }

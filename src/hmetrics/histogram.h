@@ -39,7 +39,7 @@ class LatencyHistogram {
 
   void Record(Sample v) {
     ++count_;
-    sum_ += v;
+    AddSaturating(v);
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
     if (samples_.size() >= sample_cap_) {
@@ -57,12 +57,20 @@ class LatencyHistogram {
   // overflow counted in samples_dropped().  This is the path coordinated-
   // omission backfill and bucketed per-thread recorders use -- thousands of
   // synthetic samples per flush must not pay the per-sample cap bookkeeping.
+  // v * n can exceed 64 bits (a bucketed recorder flushing millions of large
+  // latencies); the sum saturates instead of wrapping, and sum_overflowed()
+  // reports that the total is a floor, not exact.
   void RecordN(Sample v, std::uint64_t n) {
     if (n == 0) {
       return;
     }
     count_ += n;
-    sum_ += v * n;
+    std::uint64_t bulk;
+    if (__builtin_mul_overflow(v, n, &bulk)) {
+      SaturateSum();
+    } else {
+      AddSaturating(bulk);
+    }
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
     const std::size_t room =
@@ -82,7 +90,10 @@ class LatencyHistogram {
       return;
     }
     count_ += other.count_;
-    sum_ += other.sum_;
+    AddSaturating(other.sum_);
+    if (other.sum_overflowed_) {
+      SaturateSum();
+    }
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
     dropped_ += other.dropped_;
@@ -105,6 +116,10 @@ class LatencyHistogram {
   // Samples recorded (or merged) beyond the retention cap.
   std::uint64_t samples_dropped() const { return dropped_; }
 
+  // True once the streaming sum hit the uint64 ceiling: sum()/mean() are
+  // floors from then on, never wrapped-around garbage.
+  bool sum_overflowed() const { return sum_overflowed_; }
+
   // Forgets everything, keeping the configured cap.
   void Reset() {
     samples_.clear();
@@ -112,6 +127,7 @@ class LatencyHistogram {
     sorted_valid_ = false;
     count_ = 0;
     sum_ = 0;
+    sum_overflowed_ = false;
     dropped_ = 0;
     min_ = std::numeric_limits<Sample>::max();
     max_ = 0;
@@ -158,6 +174,16 @@ class LatencyHistogram {
   const std::vector<Sample>& samples() const { return samples_; }
 
  private:
+  void AddSaturating(std::uint64_t v) {
+    if (__builtin_add_overflow(sum_, v, &sum_)) {
+      SaturateSum();
+    }
+  }
+  void SaturateSum() {
+    sum_ = std::numeric_limits<std::uint64_t>::max();
+    sum_overflowed_ = true;
+  }
+
   void EnsureSorted() const {
     if (!sorted_valid_) {
       sorted_ = samples_;
@@ -170,6 +196,7 @@ class LatencyHistogram {
   std::size_t sample_cap_ = kDefaultSampleCap;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  bool sum_overflowed_ = false;
   std::uint64_t dropped_ = 0;
   Sample min_ = std::numeric_limits<Sample>::max();
   Sample max_ = 0;

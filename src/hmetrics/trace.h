@@ -18,7 +18,11 @@
 // can tell a truncated span from a genuinely zero-length one.  The
 // high-volume kTraceMemory category is capped (set_memory_event_cap): beyond
 // the cap memory events are dropped and counted, and the Chrome document
-// carries the drop count as a top-level "droppedMemoryEvents" field.
+// carries the drop count as a top-level "droppedMemoryEvents" field.  All
+// other categories share a separate overall cap (set_event_cap) so a runaway
+// producer cannot exhaust host memory either; drops there are counted as
+// "droppedSpans" in the same footer, and run_all.sh surfaces both counters so
+// a truncated export is loud, never silent.
 
 #ifndef HMETRICS_TRACE_H_
 #define HMETRICS_TRACE_H_
@@ -37,6 +41,7 @@ enum TraceCategory : std::uint32_t {
   kTraceMemory = 1u << 1,  // individual shared-memory accesses (high volume)
   kTraceRpc = 1u << 2,     // RPC send/handle/reply spans
   kTraceKernel = 1u << 3,  // kernel operations (page faults, unmaps)
+  kTraceFlight = 1u << 4,  // per-request flight-recorder phase spans
   kTraceAll = ~0u,
 };
 
@@ -50,6 +55,10 @@ class TraceSession {
   // Default cap on kTraceMemory events: one span per individual shared-memory
   // access adds up fast, and a runaway trace must not exhaust host memory.
   static constexpr std::size_t kDefaultMemoryEventCap = 1u << 20;
+  // Default cap on everything else (lock/RPC/kernel/flight spans and
+  // instants).  Far above any healthy run; the point is a counted, visible
+  // failure mode instead of OOM.
+  static constexpr std::size_t kDefaultEventCap = 1u << 22;
 
   explicit TraceSession(std::uint32_t categories = kTraceAll, double ticks_per_us = 1.0)
       : categories_(categories), ticks_per_us_(ticks_per_us) {}
@@ -57,15 +66,18 @@ class TraceSession {
   bool enabled(TraceCategory cat) const { return (categories_ & cat) != 0; }
   void set_ticks_per_us(double t) { ticks_per_us_ = t; }
   void set_memory_event_cap(std::size_t cap) { memory_event_cap_ = cap; }
+  void set_event_cap(std::size_t cap) { event_cap_ = cap; }
 
-  // kTraceMemory events dropped by the cap.
+  // kTraceMemory events dropped by the memory cap.
   std::uint64_t dropped_events() const { return dropped_events_; }
+  // Non-memory spans/instants dropped by the overall event cap.
+  std::uint64_t dropped_spans() const { return dropped_spans_; }
 
   // Opens a span at tick `ts` on track `tid`.  Returns the id to close it
   // with; the span is exported with dur 0 and a "truncated":true argument if
   // never closed.
   SpanId BeginSpan(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
-    if (cat == kTraceMemory && !AdmitMemoryEvent()) {
+    if (!AdmitEvent(cat)) {
       return kDroppedSpan;
     }
     events_.push_back(Event{std::move(name), CatName(cat), ts, kOpenDur, tid, 'X', {}});
@@ -91,7 +103,7 @@ class TraceSession {
   // Returns the event id so callers can AddArg to the instant (or
   // kDroppedSpan if the memory-category cap dropped it).
   SpanId Instant(TraceCategory cat, std::string name, std::uint32_t tid, std::uint64_t ts) {
-    if (cat == kTraceMemory && !AdmitMemoryEvent()) {
+    if (!AdmitEvent(cat)) {
       return kDroppedSpan;
     }
     events_.push_back(Event{std::move(name), CatName(cat), ts, 0, tid, 'i', {}});
@@ -138,6 +150,9 @@ class TraceSession {
     if (dropped_events_ > 0) {
       w->Field("droppedMemoryEvents", dropped_events_);
     }
+    if (dropped_spans_ > 0) {
+      w->Field("droppedSpans", dropped_spans_);
+    }
     w->EndObject();
   }
 
@@ -168,17 +183,27 @@ class TraceSession {
         return "rpc";
       case kTraceKernel:
         return "kernel";
+      case kTraceFlight:
+        return "flight";
       default:
         return "misc";
     }
   }
 
-  bool AdmitMemoryEvent() {
-    if (memory_events_ >= memory_event_cap_) {
-      ++dropped_events_;
+  bool AdmitEvent(TraceCategory cat) {
+    if (cat == kTraceMemory) {
+      if (memory_events_ >= memory_event_cap_) {
+        ++dropped_events_;
+        return false;
+      }
+      ++memory_events_;
+      return true;
+    }
+    if (other_events_ >= event_cap_) {
+      ++dropped_spans_;
       return false;
     }
-    ++memory_events_;
+    ++other_events_;
     return true;
   }
 
@@ -188,6 +213,9 @@ class TraceSession {
   std::size_t memory_event_cap_ = kDefaultMemoryEventCap;
   std::size_t memory_events_ = 0;
   std::uint64_t dropped_events_ = 0;
+  std::size_t event_cap_ = kDefaultEventCap;
+  std::size_t other_events_ = 0;
+  std::uint64_t dropped_spans_ = 0;
 };
 
 }  // namespace hmetrics

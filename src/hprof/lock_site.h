@@ -54,6 +54,35 @@ enum class Handoff : int {
   kCrossCluster = 2,   // handoff crossed a cluster (station/ring) boundary
 };
 
+class LockSiteStats;
+
+// Per-thread observer of lock-site events, for request-scoped attribution
+// (hflight's phase ledger).  A site calls the installed observer *after* its
+// own bookkeeping, outside the internal spin mutex, on the acquiring /
+// releasing thread itself -- so a thread that armed an observer sees exactly
+// the waits and holds it personally incurred.  When no observer is armed the
+// hook is a thread-local load and a branch.
+//
+// This is a native-threads facility: under hsim many coroutines interleave on
+// one host thread, so sim harnesses stamp their flight records directly
+// instead of arming an observer.
+class WaitObserver {
+ public:
+  virtual ~WaitObserver() = default;
+  // The calling thread was granted `site` after waiting `wait` ticks.
+  // `handoff` classifies the transition from the previous owner
+  // (kSameProcessor when there was no previous owner).
+  virtual void OnLockWait(const LockSiteStats& site, std::uint64_t wait,
+                          bool contended, Handoff handoff) = 0;
+  // The calling thread released `site` after holding it `hold` ticks.
+  virtual void OnLockHold(const LockSiteStats& site, std::uint64_t hold) = 0;
+};
+
+inline WaitObserver*& ThreadWaitObserver() {
+  thread_local WaitObserver* observer = nullptr;
+  return observer;
+}
+
 class LockSiteStats {
  public:
   // `procs_per_cluster` maps owner ids to clusters for handoff
@@ -111,35 +140,49 @@ class LockSiteStats {
   // recorded clusters of consecutive owners.
   void RecordAcquire(std::uint32_t owner, std::uint64_t wait, bool contended,
                      std::uint32_t cluster) {
-    SpinGuard guard(&mu_);
-    ++acquisitions_;
-    if (contended) {
-      ++contended_;
-    }
-    wait_.Record(wait);
-    if (has_last_owner_) {
-      Handoff h = Handoff::kCrossCluster;
-      if (last_owner_ == owner) {
-        h = Handoff::kSameProcessor;
-      } else if (last_owner_cluster_ == cluster) {
-        h = Handoff::kSameCluster;
+    // No previous owner means no handoff: report kSameProcessor (not cross)
+    // to the observer below.
+    Handoff handoff = Handoff::kSameProcessor;
+    {
+      SpinGuard guard(&mu_);
+      ++acquisitions_;
+      if (contended) {
+        ++contended_;
       }
-      ++handoffs_[static_cast<int>(h)];
+      wait_.Record(wait);
+      if (has_last_owner_) {
+        Handoff h = Handoff::kCrossCluster;
+        if (last_owner_ == owner) {
+          h = Handoff::kSameProcessor;
+        } else if (last_owner_cluster_ == cluster) {
+          h = Handoff::kSameCluster;
+        }
+        ++handoffs_[static_cast<int>(h)];
+        handoff = h;
+      }
+      last_owner_ = owner;
+      last_owner_cluster_ = cluster;
+      has_last_owner_ = true;
+      ClusterShare& share = by_cluster_[cluster];
+      ++share.acquisitions;
+      share.wait_ticks += wait;
     }
-    last_owner_ = owner;
-    last_owner_cluster_ = cluster;
-    has_last_owner_ = true;
-    ClusterShare& share = by_cluster_[cluster];
-    ++share.acquisitions;
-    share.wait_ticks += wait;
+    if (WaitObserver* obs = ThreadWaitObserver()) {
+      obs->OnLockWait(*this, wait, contended, handoff);
+    }
   }
 
   // Called by the owner at release; `hold` is the critical-section length in
   // ticks (the caller timed its own hold -- sites with concurrent holders,
   // like reserve bits, cannot share one start-timestamp slot).
   void RecordRelease(std::uint64_t hold) {
-    SpinGuard guard(&mu_);
-    hold_.Record(hold);
+    {
+      SpinGuard guard(&mu_);
+      hold_.Record(hold);
+    }
+    if (WaitObserver* obs = ThreadWaitObserver()) {
+      obs->OnLockHold(*this, hold);
+    }
   }
 
   // Waiter-side queue-depth tracking: call EnterQueue when starting to wait,

@@ -128,6 +128,7 @@ bool ProfileReport::AddTrace(const JsonValue& doc, const TraceBuildOptions& opts
   // args.lock; release instants do too (older traces without the arg fall
   // into one "unknown" bucket).
   std::map<std::string, std::vector<AcquireEvent>> acquires;
+  std::map<std::string, std::vector<double>> truncated_waits;
   std::map<std::pair<std::string, std::uint32_t>, std::vector<double>> releases;
   for (const JsonValue& e : doc["traceEvents"].array) {
     const std::string& name = e["name"].string_value;
@@ -136,7 +137,11 @@ bool ProfileReport::AddTrace(const JsonValue& doc, const TraceBuildOptions& opts
         e["args"]["lock"].is_string() ? e["args"]["lock"].string_value : "unknown";
     if (name == "lock/acquire" && e["ph"].string_value == "X") {
       if (e["args"]["truncated"].bool_value) {
-        continue;  // the run ended mid-wait; no grant happened
+        // The run ended mid-wait: no grant, so no wait sample -- but the
+        // waiter held a queue slot from its arrival to the end of the trace,
+        // so it still counts for queue depth below.
+        truncated_waits[lock].push_back(e["ts"].number);
+        continue;
       }
       AcquireEvent a;
       a.tid = tid;
@@ -196,21 +201,36 @@ bool ProfileReport::AddTrace(const JsonValue& doc, const TraceBuildOptions& opts
     }
     r.wait = StatsFromSamples(std::move(waits));
 
-    // Queue depth: maximum number of simultaneously-open acquire spans.
-    // Departures sort before arrivals at equal time (a grant and the next
-    // processor starting to wait at the same tick do not stack).
-    std::vector<std::pair<double, int>> sweep;
-    sweep.reserve(events.size() * 2);
+    // Queue depth: maximum number of simultaneously-open acquire spans.  A
+    // two-pointer walk over the sorted arrival and departure times keeps the
+    // running depth non-negative by construction -- the event-delta sweep it
+    // replaces dipped negative on zero-length spans, whose departure sorted
+    // ahead of the matching arrival at the same timestamp.  Only departures
+    // strictly before an arrival clear a slot (a grant and the next waiter
+    // arriving at the same tick did coexist at that instant; with `<` the
+    // count of cleared slots also provably never exceeds i, so the depth
+    // cannot underflow even when many zero-length spans share one tick).
+    // Truncated spans are arrivals that never depart.
+    std::vector<double> starts;
+    std::vector<double> ends;
+    starts.reserve(events.size());
+    ends.reserve(events.size());
     for (const AcquireEvent& a : events) {
-      sweep.emplace_back(a.ts_us, +1);
-      sweep.emplace_back(a.grant_us, -1);
+      starts.push_back(a.ts_us);
+      ends.push_back(a.grant_us);
     }
-    std::sort(sweep.begin(), sweep.end());
-    int depth = 0;
-    int max_depth = 0;
-    for (const auto& [ts, delta] : sweep) {
-      depth += delta;
-      max_depth = std::max(max_depth, depth);
+    if (auto t_it = truncated_waits.find(lock); t_it != truncated_waits.end()) {
+      starts.insert(starts.end(), t_it->second.begin(), t_it->second.end());
+    }
+    std::sort(starts.begin(), starts.end());
+    std::sort(ends.begin(), ends.end());
+    std::size_t max_depth = 0;
+    std::size_t departed = 0;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      while (departed < ends.size() && ends[departed] < starts[i]) {
+        ++departed;
+      }
+      max_depth = std::max(max_depth, i + 1 - departed);
     }
     r.max_queue_depth = static_cast<std::uint32_t>(max_depth);
 

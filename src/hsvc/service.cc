@@ -72,8 +72,18 @@ AdmitResult Service::Submit(Request* req, hcluster::ClusterId origin) {
   }
   req->status = Status::kPending;
   req->enqueue_ns = now;
+  if (req->flight != nullptr) {
+    // Admission boundary: admit phase = begin..here.  Stamped before the
+    // push -- the queue's release/acquire edge transfers record ownership to
+    // the pump -- and rolled back below if admission fails (the node never
+    // left the caller, so rejected requests stay entirely in admit + reply).
+    req->flight->enqueue = now;
+  }
 
   if (!pump.queue.TryPush(req)) {
+    if (req->flight != nullptr) {
+      req->flight->enqueue = hflight::FlightRecord::kUnset;
+    }
     pump.rejected.fetch_add(1, std::memory_order_relaxed);
     // Retry-after ~= time for the pump to work off its current backlog.
     const std::uint64_t backlog = pump.queue.depth();
@@ -156,6 +166,9 @@ void Service::ProcessBatch(Pump& pump, std::vector<Request*>& batch) {
   for (Request* req : batch) {
     const std::uint64_t start = NowNs();
     req->start_ns = start;
+    if (req->flight != nullptr) {
+      req->flight->start = start;
+    }
     pump.wait_us.Record((start - req->enqueue_ns) / 1000);
     if (req->deadline_ns != 0 && start > req->deadline_ns) {
       Complete(pump, req, Status::kExpired, 0);
@@ -170,6 +183,12 @@ void Service::ProcessBatch(Pump& pump, std::vector<Request*>& batch) {
       continue;
     }
     PaceOne(pump);
+    if (req->flight != nullptr) {
+      // Execution boundary: pacing dwell stays in the batch phase, table
+      // work (and its lock waits, via the ledger below) lands in exec..done.
+      req->flight->exec = NowNs();
+    }
+    hflight::ScopedLedger ledger(config_.flight, req->flight);
     if (req->kind == OpKind::kGet) {
       // Different-key reads cannot combine, but on the distributed read path
       // they no longer serialize either: Get's replica lookup is a
@@ -195,6 +214,9 @@ void Service::Complete(Pump& pump, Request* req, Status status, std::uint64_t va
   req->status = status;
   req->value_out = value;
   req->done_ns = NowNs();
+  if (req->flight != nullptr) {
+    req->flight->done = req->done_ns;
+  }
   if (status == Status::kExpired) {
     pump.expired.fetch_add(1, std::memory_order_relaxed);
   } else {

@@ -48,6 +48,7 @@
 #include "src/hcluster/clustered_table.h"
 #include "src/hcluster/runtime.h"
 #include "src/hcluster/topology.h"
+#include "src/hflight/flight.h"
 #include "src/hlock/lock_free.h"
 #include "src/hmetrics/histogram.h"
 #include "src/hmetrics/registry.h"
@@ -82,6 +83,10 @@ struct Request {
                                   // (coordinated-omission-safe latency base)
   std::uint64_t deadline_ns = 0;  // service clock; 0 = config default / none
   std::uint32_t retries = 0;      // client-side bookkeeping, service-ignored
+  // Optional flight record (opened/closed by the client; the service stamps
+  // its pipeline boundaries into it and arms the lock-wait ledger around
+  // table operations when ServiceConfig::flight is attached).
+  hflight::FlightRecord* flight = nullptr;
 
   // --- outputs (service-written, valid after completion) -------------------
   Status status = Status::kPending;
@@ -122,6 +127,11 @@ struct ServiceConfig {
   // replica's chains in parallel; kCoarse serializes every read on the
   // replica's coarse lock (kept as the read-heavy bench baseline).
   hlock::ReadPath read_path = hlock::ReadPath::kDistributed;
+  // Optional flight recorder: when set, pumps arm a ScopedLedger around
+  // table operations so lock waits/holds land in the request's phase ledger
+  // (requests without a FlightRecord still serve normally).  Must outlive
+  // the service.
+  hflight::FlightRecorder* flight = nullptr;
 };
 
 class Service {

@@ -1,0 +1,158 @@
+// hflight under the simulator: the recorder must be a pure host-side
+// observer (attaching it changes no simulated memory traffic -- the hsim
+// locality counters are bit-identical attached vs detached), and the kernel
+// RPC path must produce causally linked caller/handler record pairs whose
+// ledgers reconcile.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hflight/flight.h"
+#include "src/hkernel/kernel.h"
+#include "src/hsim/engine.h"
+#include "src/hsim/machine.h"
+#include "src/hsim/opstats.h"
+
+namespace hflight {
+namespace {
+
+struct Rig {
+  hsim::Engine engine;
+  hsim::Machine machine;
+  hkernel::KernelSystem system;
+  bool stop = false;
+
+  Rig()
+      : machine(&engine, hsim::MachineConfig{}),
+        system(&machine, [] {
+          hkernel::KernelConfig c;
+          c.cluster_size = 4;
+          return c;
+        }()) {}
+};
+
+// Sums the per-processor locality counters over the whole machine.
+hsim::OpStats MachineStats(hsim::Machine* machine) {
+  hsim::OpStats total;
+  for (hsim::ProcId p = 0; p < machine->num_processors(); ++p) {
+    total += machine->processor(p).stats();
+  }
+  return total;
+}
+
+// Runs a fixed cross-cluster RPC workload: `calls` NullRpcs from processor 0
+// to cluster 1, everything else idling.
+void RunWorkload(Rig* rig, int calls) {
+  for (hsim::ProcId p = 1; p < rig->machine.num_processors(); ++p) {
+    rig->engine.Spawn(rig->system.IdleLoop(rig->machine.processor(p), &rig->stop));
+  }
+  rig->engine.Spawn([](Rig* r, int n) -> hsim::Task<void> {
+    for (int i = 0; i < n; ++i) {
+      co_await r->system.NullRpc(r->machine.processor(0), 1);
+    }
+    r->stop = true;
+  }(rig, calls));
+  rig->engine.RunUntilIdle();
+}
+
+TEST(FlightSimTest, AttachedRecorderIsAPureObserver) {
+  constexpr int kCalls = 12;
+
+  Rig detached;
+  RunWorkload(&detached, kCalls);
+  const hsim::OpStats base = MachineStats(&detached.machine);
+
+  Rig attached;
+  FlightConfig cfg;
+  cfg.clusters = 2;
+  cfg.ring_size = 64;
+  cfg.ticks_per_us = 16.0;
+  FlightRecorder recorder(cfg);
+  attached.system.AttachFlightRecorder(&recorder);
+  RunWorkload(&attached, kCalls);
+  const hsim::OpStats traced = MachineStats(&attached.machine);
+
+  // Zero-ring-crossing acceptance: recording lives entirely on the host, so
+  // the simulated interconnect sees the exact same traffic.
+  EXPECT_EQ(traced.loc_local, base.loc_local);
+  EXPECT_EQ(traced.loc_station, base.loc_station);
+  EXPECT_EQ(traced.loc_ring, base.loc_ring);
+  EXPECT_GT(recorder.closed(), 0u);
+}
+
+TEST(FlightSimTest, RpcLegsProduceCausallyLinkedRecords) {
+  // One call: the handler record closes first (setting the promotion
+  // threshold to its own total), then the caller record -- whose total spans
+  // the handler's -- clears it.  Both legs are promoted deterministically.
+  Rig rig;
+  FlightConfig cfg;
+  cfg.clusters = 2;
+  cfg.ring_size = 64;
+  cfg.ticks_per_us = 16.0;
+  cfg.tail_quantile = 0.0;
+  cfg.warmup_closes = 1;
+  FlightRecorder recorder(cfg);
+  rig.system.AttachFlightRecorder(&recorder);
+  RunWorkload(&rig, 1);
+
+  EXPECT_EQ(recorder.closed(), 2u);
+  EXPECT_EQ(recorder.fate_count(Fate::kOk), 2u);
+  const std::vector<FlightRecord> promoted = recorder.promoted();
+  ASSERT_EQ(promoted.size(), 2u);
+  const FlightRecord& child = promoted[0];   // handler leg closed first
+  const FlightRecord& root = promoted[1];    // caller leg
+  for (const FlightRecord& rec : promoted) {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      sum += rec.phase[p];
+    }
+    EXPECT_EQ(sum, rec.total()) << "record " << rec.id << " fails reconciliation";
+  }
+  // Caller leg: a root on cluster 0 whose whole span is rpc time.
+  EXPECT_EQ(root.parent, 0u);
+  EXPECT_EQ(root.origin_cluster, 0u);
+  EXPECT_GT(root.phase[static_cast<int>(Phase::kRpc)], 0u);
+  EXPECT_EQ(root.phase[static_cast<int>(Phase::kLockWait)], 0u);
+  // Handler leg: linked to the caller, nested inside its span, with the
+  // wire + delivery-queue delay showing up as inbox.
+  EXPECT_EQ(child.parent, root.id);
+  EXPECT_EQ(child.origin_cluster, 1u);
+  EXPECT_GE(child.begin, root.begin);
+  EXPECT_LE(child.end, root.end);
+  EXPECT_GT(child.phase[static_cast<int>(Phase::kInbox)], 0u);
+}
+
+TEST(FlightSimTest, EveryCallYieldsBothLegs) {
+  constexpr int kCalls = 10;
+  Rig rig;
+  FlightConfig cfg;
+  cfg.clusters = 2;
+  cfg.ring_size = 64;
+  cfg.ticks_per_us = 16.0;
+  FlightRecorder recorder(cfg);
+  rig.system.AttachFlightRecorder(&recorder);
+  RunWorkload(&rig, kCalls);
+
+  // One caller record and one handler record per call, all successful, and
+  // every record contributed a full phase ledger to the histograms.
+  EXPECT_EQ(recorder.closed(), static_cast<std::uint64_t>(2 * kCalls));
+  EXPECT_EQ(recorder.fate_count(Fate::kOk), recorder.closed());
+  EXPECT_EQ(recorder.total_hist().count(), recorder.closed());
+  EXPECT_EQ(recorder.phase_hist(Phase::kRpc).count(), recorder.closed());
+  // The caller legs charged real rpc time; handler legs real inbox time.
+  EXPECT_GT(recorder.phase_hist(Phase::kRpc).sum(), 0u);
+  EXPECT_GT(recorder.phase_hist(Phase::kInbox).sum(), 0u);
+}
+
+TEST(FlightSimTest, DetachedSystemOpensNoRecords) {
+  Rig rig;
+  RunWorkload(&rig, 4);
+  // Nothing to assert on a recorder -- there is none; the workload completing
+  // (stop reached, engine idle) is the property.
+  EXPECT_EQ(rig.system.counters().rpcs, 4u);
+}
+
+}  // namespace
+}  // namespace hflight

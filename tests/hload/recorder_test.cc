@@ -106,5 +106,23 @@ TEST(LatencyRecorder, HugeValuesDoNotOverflowIndexing) {
   EXPECT_GT(r.PercentileNs(100), std::uint64_t{1} << 61);
 }
 
+TEST(LatencyRecorder, SumSaturatesAndMergePropagates) {
+  constexpr std::uint64_t kCeiling = std::numeric_limits<std::uint64_t>::max();
+  LatencyRecorder a;
+  a.Record(kCeiling - 10);
+  EXPECT_FALSE(a.sum_overflowed());
+  a.Record(100);  // would wrap modulo 2^64
+  EXPECT_EQ(a.sum_ns(), kCeiling);
+  EXPECT_TRUE(a.sum_overflowed());
+  EXPECT_EQ(a.count(), 2u);  // the count stays exact
+  // Merging a saturated shard pins the destination's sum at the ceiling too.
+  LatencyRecorder total;
+  total.Record(5);
+  total.Merge(a);
+  EXPECT_TRUE(total.sum_overflowed());
+  EXPECT_EQ(total.sum_ns(), kCeiling);
+  EXPECT_EQ(total.count(), 3u);
+}
+
 }  // namespace
 }  // namespace hload

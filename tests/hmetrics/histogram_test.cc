@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace hmetrics {
@@ -230,6 +231,41 @@ TEST(LatencyHistogram, StreamingStatsWithoutSort) {
   EXPECT_DOUBLE_EQ(h.mean(), 6.0);
   EXPECT_EQ(h.min(), 3u);
   EXPECT_EQ(h.max(), 9u);
+}
+
+TEST(LatencyHistogram, SumSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kCeiling = std::numeric_limits<std::uint64_t>::max();
+  LatencyHistogram h;
+  h.Record(kCeiling - 10);
+  EXPECT_FALSE(h.sum_overflowed());
+  h.Record(100);  // would wrap modulo 2^64
+  EXPECT_EQ(h.sum(), kCeiling);
+  EXPECT_TRUE(h.sum_overflowed());
+  // The count stays exact; only the sum is a floor from here on.
+  h.Record(7);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), kCeiling);
+}
+
+TEST(LatencyHistogram, RecordNProductOverflowSaturates) {
+  // v * n exceeds 64 bits before the sum is even touched: the bulk product
+  // itself must saturate, not wrap to a small residue.
+  LatencyHistogram h;
+  h.RecordN(std::uint64_t{1} << 40, std::uint64_t{1} << 40);
+  EXPECT_EQ(h.count(), std::uint64_t{1} << 40);
+  EXPECT_EQ(h.sum(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(h.sum_overflowed());
+}
+
+TEST(LatencyHistogram, MergePropagatesSaturation) {
+  LatencyHistogram overflowed_shard;
+  overflowed_shard.RecordN(std::uint64_t{1} << 40, std::uint64_t{1} << 40);
+  LatencyHistogram total;
+  total.Record(5);
+  total.Merge(overflowed_shard);
+  EXPECT_TRUE(total.sum_overflowed());
+  EXPECT_EQ(total.sum(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(total.count(), (std::uint64_t{1} << 40) + 1);
 }
 
 }  // namespace

@@ -196,7 +196,7 @@ TEST(TraceSessionTest, MemoryEventCapDropsAndCounts) {
   trace.EndSpan(dropped, 4);
   EXPECT_EQ(trace.Instant(kTraceMemory, "mem/write", 0, 5), TraceSession::kDroppedSpan);
   EXPECT_EQ(trace.dropped_events(), 2u);
-  // Non-memory categories are never capped.
+  // Non-memory categories have their own (default, far larger) cap.
   EXPECT_NE(trace.Instant(kTraceLocks, "lock/release", 0, 6), TraceSession::kDroppedSpan);
   EXPECT_EQ(trace.event_count(), 3u);
 
@@ -204,6 +204,34 @@ TEST(TraceSessionTest, MemoryEventCapDropsAndCounts) {
   std::string error;
   ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
   EXPECT_DOUBLE_EQ(doc["droppedMemoryEvents"].number, 2.0);
+  // The memory cap did not touch the span counter.
+  EXPECT_EQ(trace.dropped_spans(), 0u);
+  EXPECT_FALSE(doc.Has("droppedSpans"));
+}
+
+TEST(TraceSessionTest, EventCapDropsSpansAndCountsInFooter) {
+  TraceSession trace(kTraceAll, 1.0);
+  trace.set_event_cap(2);
+  const TraceSession::SpanId kept = trace.BeginSpan(kTraceLocks, "lock/acquire", 0, 1);
+  trace.EndSpan(kept, 2);
+  EXPECT_NE(trace.Instant(kTraceRpc, "rpc/send", 0, 3), TraceSession::kDroppedSpan);
+  // Beyond the cap every non-memory category is dropped and counted; the
+  // sentinel id stays safe to thread through AddArg/EndSpan.
+  const TraceSession::SpanId dropped = trace.BeginSpan(kTraceLocks, "lock/acquire", 0, 4);
+  EXPECT_EQ(dropped, TraceSession::kDroppedSpan);
+  trace.AddArg(dropped, "lock", "shared");
+  trace.EndSpan(dropped, 5);
+  EXPECT_EQ(trace.Instant(kTraceKernel, "kernel/fault", 0, 6), TraceSession::kDroppedSpan);
+  EXPECT_EQ(trace.dropped_spans(), 2u);
+  // The memory category rides its own cap and is still admitted.
+  EXPECT_NE(trace.Instant(kTraceMemory, "mem/read", 0, 7), TraceSession::kDroppedSpan);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(JsonParser::Parse(trace.ToChromeJson(), &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc["droppedSpans"].number, 2.0);
+  EXPECT_FALSE(doc.Has("droppedMemoryEvents"));
 }
 
 TEST(TraceSessionTest, InstantReturnsIdForArgs) {

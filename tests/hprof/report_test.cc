@@ -90,6 +90,45 @@ TEST(ReportFromTrace, ReconstructsSiteStatsFromSpans) {
   EXPECT_NEAR(fs.hold.sum_us, 2.0, 1e-9);
 }
 
+// Regression for the queue-depth sweep: zero-length acquire spans (wait 0)
+// used to emit their departure ahead of their own arrival at the same
+// timestamp, driving the running depth negative; truncated spans (run ended
+// mid-wait) were dropped from the depth count entirely even though the
+// waiter held a queue slot until the end of the trace.
+TEST(ReportFromTrace, TruncatedAndZeroLengthSpansCountTowardQueueDepth) {
+  const char* trace = R"({
+    "traceEvents": [
+      {"name": "lock/acquire", "ph": "X", "tid": 0, "ts": 10.0, "dur": 0,
+       "args": {"lock": "l"}},
+      {"name": "lock/release", "ph": "i", "tid": 0, "ts": 11.0,
+       "args": {"lock": "l"}},
+      {"name": "lock/acquire", "ph": "X", "tid": 1, "ts": 10.0, "dur": 0,
+       "args": {"lock": "l"}},
+      {"name": "lock/release", "ph": "i", "tid": 1, "ts": 12.0,
+       "args": {"lock": "l"}},
+      {"name": "lock/acquire", "ph": "X", "tid": 2, "ts": 10.5, "dur": 0,
+       "args": {"lock": "l", "truncated": true}},
+      {"name": "lock/acquire", "ph": "X", "tid": 3, "ts": 10.5, "dur": 0,
+       "args": {"lock": "l", "truncated": true}}
+    ]})";
+  hmetrics::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(hmetrics::JsonParser::Parse(trace, &doc, &error)) << error;
+  ProfileReport report;
+  TraceBuildOptions opts;
+  ASSERT_TRUE(report.AddTrace(doc, opts, &error)) << error;
+  report.Rank();
+  ASSERT_EQ(report.sites().size(), 1u);
+  const SiteReport& r = report.sites()[0];
+  // Only the granted spans are acquisitions...
+  EXPECT_EQ(r.acquisitions, 2u);
+  // ...and the depth peaks at 2 twice over: the two instant grants coexist
+  // at t=10 (the old sweep sorted their departures first and ran the depth
+  // to -2, reporting 0 -- or wrapping near 2^32), and the two truncated
+  // waiters coexist from t=10.5 on (the old sweep ignored them entirely).
+  EXPECT_EQ(r.max_queue_depth, 2u);
+}
+
 // The golden file pins the exact text the hprof CLI prints for the canned
 // trace.  Regenerate (after inspecting the diff!) by redirecting
 //   build/tools/hprof tests/hprof/testdata/canned_trace.json

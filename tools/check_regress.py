@@ -37,8 +37,11 @@ import sys
 SKIP_BENCHES = {"native_lock_latency", "native_hybrid_table", "native_cluster"}
 
 # Sweep coordinates: must match exactly between baseline and results.
+# "quantile" is the tail quantile of the hwhy blame series -- a changed
+# quantile redefines the metric, so it is a coordinate, not a measurement.
 COORD_KEYS = {"p", "cap_us", "hold_us", "cluster_size", "clusters", "procs",
-              "processors", "drop_pct", "dup_pct", "iters", "offered_rps"}
+              "processors", "drop_pct", "dup_pct", "iters", "offered_rps",
+              "quantile"}
 
 ABS_TOL = 0.5        # absolute slack for generic metrics
 REL_TOL = 0.35       # relative slack for generic metrics
@@ -122,6 +125,24 @@ def self_test():
     skipped = json.loads(json.dumps(base))
     skipped[0]["bench"] = "native_cluster"
 
+    # The hwhy blame gate: lock_wait share of the p99 tail per lock, plus the
+    # hmcs-t-strictly-below-coarse indicator.  The indicator collapsing to 0
+    # and a re-based quantile must both fail.
+    blame_base = [{"bench": "svc_throughput", "params": {}, "env": {},
+                   "series": [{"name": "blame", "labels": {"lock": "gate"},
+                               "points": [{"procs": 16, "clusters": 4,
+                                           "frac_hmcst_below_coarse": 1.0,
+                                           "frac_reconcile_ok": 1.0}]},
+                              {"name": "blame", "labels": {"lock": "hmcs-t"},
+                               "points": [{"procs": 16, "clusters": 4,
+                                           "quantile": 0.99,
+                                           "frac_lock_wait_p99": 0.80}]}]}]
+    blame_same = json.loads(json.dumps(blame_base))
+    blame_broken = json.loads(json.dumps(blame_base))
+    blame_broken[0]["series"][0]["points"][0]["frac_hmcst_below_coarse"] = 0.0
+    blame_requantiled = json.loads(json.dumps(blame_base))
+    blame_requantiled[0]["series"][1]["points"][0]["quantile"] = 0.9
+
     checks = [
         ("identical results pass", compare(base, same) == []),
         ("in-band drift passes", compare(base, drifted) == []),
@@ -133,6 +154,11 @@ def self_test():
               "points": [{"p": 8, "w_us": 100.0,
                           "frac_over_2ms": 0.05}]}]}]) != []),
         ("native benches are skipped", compare(skipped, missing) == []),
+        ("identical blame series passes", compare(blame_base, blame_same) == []),
+        ("lost hmcs-t-below-coarse gate fails",
+         compare(blame_base, blame_broken) != []),
+        ("re-based blame quantile fails",
+         compare(blame_base, blame_requantiled) != []),
     ]
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:

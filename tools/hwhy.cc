@@ -1,0 +1,142 @@
+// hwhy: offline "why is p99 slow" analysis.
+//
+//   hwhy [--json] [--top=N] [--self-test] FILE...
+//
+// Each FILE is either a hurricane-flight/1 document (the FlightRecorder
+// export written by `svc_throughput --why=PATH`) or a hurricane-lockprof/1
+// document (the SiteTable export from `bench --profile=PATH`).  The format is
+// auto-detected per file; the flight document supplies the tail records and
+// phase ledgers, a lockprof document (optional) enriches the blamed lock
+// sites with system-wide contention stats.  The report answers where the
+// tail's time went: per-phase blame shares, the top lock sites by tail
+// contribution, and the cross-cluster share of tail lock waiting -- after
+// verifying that every record's phase ledger reconciles with its measured
+// end-to-end latency within 1%.
+//
+// Flags:
+//   --json       emit the hurricane-hwhy-report/1 JSON document instead of
+//                the text report.
+//   --top=N      show only the N most-blamed lock sites (text report).
+//   --self-test  run the built-in end-to-end pipeline check (records a
+//                synthetic run, exports, re-parses, verifies the known blame
+//                shares) and exit; no FILE needed.
+//
+// Exit status: 0 on success, 1 on unreadable/unparseable/irreconcilable
+// input (or a failed self-test), 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/hflight/blame.h"
+#include "src/hmetrics/json.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hwhy [--json] [--top=N] [--self-test] FILE...\n"
+               "  FILE: hurricane-flight/1 export or hurricane-lockprof/1 "
+               "export (auto-detected)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool self_test = false;
+  std::size_t top = 0;
+  std::vector<const char*> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top = static_cast<std::size_t>(std::strtoul(arg + 6, nullptr, 10));
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "hwhy: unknown flag %s\n", arg);
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (self_test) {
+    std::string error;
+    if (!hflight::BlameReport::SelfTest(&error)) {
+      std::fprintf(stderr, "hwhy: self-test FAILED: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("hwhy: self-test ok\n");
+    return 0;
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  hflight::BlameReport report;
+  bool have_flight = false;
+  for (const char* path : files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "hwhy: cannot read %s\n", path);
+      return 1;
+    }
+    hmetrics::JsonValue doc;
+    std::string error;
+    if (!hmetrics::JsonParser::Parse(text, &doc, &error)) {
+      std::fprintf(stderr, "hwhy: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    bool ok = false;
+    if (doc.is_object() && doc["schema"].string_value == hflight::kFlightSchema) {
+      ok = report.AddFlight(doc, &error);
+      have_flight = have_flight || ok;
+    } else if (doc.is_object() && doc.Has("sites")) {
+      ok = report.AddLockProf(doc, &error);
+    } else {
+      error = "neither a flight export nor a lockprof document";
+    }
+    if (!ok) {
+      std::fprintf(stderr, "hwhy: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+  }
+  if (!have_flight) {
+    std::fprintf(stderr, "hwhy: no hurricane-flight/1 document among the inputs\n");
+    return 1;
+  }
+
+  std::string error;
+  if (!report.Analyze(&error)) {
+    std::fprintf(stderr, "hwhy: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string out = json ? report.RenderJson() : report.RenderText(top);
+  std::fputs(out.c_str(), stdout);
+  if (!json) {
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
