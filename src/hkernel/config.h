@@ -35,6 +35,10 @@ enum class DeadlockProtocol {
 
 struct KernelConfig {
   // --- structure -------------------------------------------------------------
+  // Which machine of a multi-machine mesh this kernel instance runs on.
+  // Purely diagnostic for a standalone kernel (defaults to 0); hmesh assigns
+  // each member its mesh id so watchdog messages name the culprit machine.
+  std::uint32_t machine_id = 0;
   std::uint32_t cluster_size = 16;  // processors per cluster (1..16)
   hsim::LockKind lock_kind = hsim::LockKind::kMcsH2;
   DeadlockProtocol protocol = DeadlockProtocol::kOptimistic;

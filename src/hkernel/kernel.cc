@@ -1,6 +1,8 @@
 #include "src/hkernel/kernel.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "src/hsim/locks/numa_lock.h"
 #include "src/hsim/locks/reserve_bit.h"
@@ -13,6 +15,14 @@ using hsim::SimReserve;
 std::unique_ptr<hsim::SimLock> MakeCoarseLock(hsim::Machine* machine, hsim::ModuleId module,
                                               hsim::LockKind kind) {
   return hsim::MakeSimLock(machine, kind, module);
+}
+
+std::string StormDiagnostic(std::uint32_t machine_id, hsim::ProcId src, hsim::ProcId target,
+                            std::uint32_t target_cluster, RpcOp op, int consecutive) {
+  return "rpc retry storm: op=" + std::string(RpcOpName(op)) + " machine=" +
+         std::to_string(machine_id) + " dst_proc=" + std::to_string(target) + " dst_cluster=" +
+         std::to_string(target_cluster) + " src_proc=" + std::to_string(src) +
+         " consecutive_refusals=" + std::to_string(consecutive);
 }
 
 ClusterKernel::ClusterKernel(hsim::Machine* machine, const KernelConfig& config, std::uint32_t id,
@@ -174,9 +184,15 @@ hsim::Task<void> KernelSystem::CallWithRetry(hsim::Processor& p, hsim::ProcId ta
     }
     // Retry-storm watchdog: a reserve bit held this long usually means its
     // holder is starved (e.g. livelocked behind our own retries).  Escalate
-    // once per storm so livelock shows up as a counter, not a silent hang.
+    // once per storm -- a counter bump plus a diagnostic naming the
+    // destination machine/cluster/processor, so a mesh-wide log pins which
+    // member is starving the caller.
     if (++consecutive == config_.rpc_storm_threshold) {
       ++counters_.rpc_retry_storms;
+      const std::string diag =
+          StormDiagnostic(config_.machine_id, p.id(), target, cluster_of_proc(target),
+                          request->op, consecutive);
+      std::fprintf(stderr, "[hkernel] %s\n", diag.c_str());
     }
     const hsim::Tick jittered = delay / 2 + p.rng().NextBelow(delay / 2 + 1);
     co_await p.BackoffDelay(jittered);

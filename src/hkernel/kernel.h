@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/halloc/slab_allocator.h"
@@ -303,6 +304,15 @@ class KernelSystem {
 // Creates a coarse-grained lock of the configured kind, homed on `module`.
 std::unique_ptr<hsim::SimLock> MakeCoarseLock(hsim::Machine* machine, hsim::ModuleId module,
                                               hsim::LockKind kind);
+
+// Formats the retry-storm watchdog's diagnostic.  A storm used to be reported
+// as a bare counter bump naming only the op code; in a multi-machine mesh
+// that left "which machine is starving us?" unanswerable from the log.  The
+// message names the destination machine, cluster, and processor alongside the
+// op and the consecutive-refusal count.  Free function so tests can pin the
+// format without provoking a live storm.
+std::string StormDiagnostic(std::uint32_t machine_id, hsim::ProcId src, hsim::ProcId target,
+                            std::uint32_t target_cluster, RpcOp op, int consecutive);
 
 }  // namespace hkernel
 

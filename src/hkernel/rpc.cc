@@ -102,7 +102,7 @@ void CpuKernel::SendPacket(hsim::Processor& p, hsim::ProcId target, const RpcPac
   }
   const hsim::FaultLeg leg = packet.is_reply ? hsim::FaultLeg::kReply : hsim::FaultLeg::kRequest;
   const hsim::FaultPlan::Decision decision =
-      plan->Decide(leg, p.id(), target, static_cast<std::uint8_t>(packet.op));
+      plan->Decide(leg, p.id(), target, static_cast<std::uint8_t>(packet.op), p.now());
   if (machine.trace_enabled(hmetrics::kTraceRpc) && (decision.drop || decision.duplicate)) {
     machine.trace()->Instant(hmetrics::kTraceRpc,
                              decision.drop ? "rpc/fault_drop" : "rpc/fault_dup", p.id(),

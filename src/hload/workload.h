@@ -75,6 +75,17 @@ class ZipfianRanks {
 
 enum class KeyDist : std::uint8_t { kUniform, kZipfian };
 
+// Inverse of the key construction below (key = rank * num_clusters + cluster):
+// the per-cluster zipf rank of a planned key.  hmesh uses the rank to decide
+// replication breadth (low ranks are the hot head of the zipf curve).
+inline std::uint64_t RankOfKey(std::uint64_t key, std::uint32_t num_clusters) {
+  return key / num_clusters;
+}
+
+inline bool IsHotKey(std::uint64_t key, std::uint32_t num_clusters, std::uint64_t hot_ranks) {
+  return RankOfKey(key, num_clusters) < hot_ranks;
+}
+
 struct WorkloadConfig {
   std::uint64_t seed = 1;
   std::uint32_t num_clusters = 2;

@@ -1,0 +1,912 @@
+#include "src/hmesh/mesh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "src/hflight/flight.h"
+#include "src/hmetrics/registry.h"
+#include "src/hprof/lock_site.h"
+
+namespace hmesh {
+
+namespace {
+constexpr std::uint32_t kStripeWords = 4;
+}  // namespace
+
+const char* MeshOpName(MeshOp op) {
+  switch (op) {
+    case MeshOp::kGet:
+      return "get";
+    case MeshOp::kPut:
+      return "put";
+    case MeshOp::kUpdate:
+      return "update";
+    case MeshOp::kSyncPull:
+      return "sync_pull";
+  }
+  return "?";
+}
+
+Mesh::Mesh(hsim::Engine* engine, const MeshConfig& config)
+    : engine_(engine), config_(config), ring_(config.vnodes, config.seed) {
+  nodes_.reserve(config_.machines);
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    auto node = std::make_unique<Node>();
+    node->machine = std::make_unique<hsim::Machine>(engine_, config_.member);
+    node->store_service = std::make_unique<hsim::Resource>(
+        engine_, "mesh.store" + std::to_string(m));
+    for (std::uint32_t w = 0; w < kStripeWords; ++w) {
+      node->store_words.push_back(
+          &node->machine->AllocWord(w % config_.member.num_processors()));
+    }
+    node->windows.resize(config_.machines * config_.lanes);
+    for (std::uint32_t lane = config_.lanes; lane-- > 0;) {
+      node->free_lanes.push_back(lane);
+    }
+    nodes_.push_back(std::move(node));
+    ring_.AddMachine(m);
+  }
+  channels_.resize(config_.machines * config_.lanes);
+  traffic_.assign(std::size_t{config_.machines} * config_.machines, 0);
+}
+
+Mesh::~Mesh() = default;
+
+void Mesh::Start() {
+  // Seed every key on its holders directly (the preload is host-side setup,
+  // not measured traffic): version 1, writer op 0 (excluded from the ledger).
+  for (std::uint64_t key = 0; key < config_.keys(); ++key) {
+    for (std::uint32_t m : HoldersOf(key)) {
+      nodes_[m]->store[key] = Entry{key * 7 + 1, 1, 0};
+    }
+  }
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    engine_->Spawn(ServerLoop(m, nodes_[m]->incarnation));
+  }
+}
+
+void Mesh::Shutdown() { stopped_ = true; }
+
+bool Mesh::Quiescent() const {
+  for (const Channel& ch : channels_) {
+    if (ch.busy) {
+      return false;
+    }
+  }
+  for (const auto& node : nodes_) {
+    if (!node->inbox.empty() || !node->write_busy.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- routing ------------------------------------------------------------------
+
+std::vector<std::uint32_t> Mesh::HoldersOf(std::uint64_t key) const {
+  const bool hot = key / config_.machines < config_.hot_ranks;
+  return ring_.ReplicaSet(key, hot ? static_cast<std::uint32_t>(ring_.num_machines())
+                                   : config_.replicas);
+}
+
+bool Mesh::HoldsLocally(std::uint32_t m, std::uint64_t key) const {
+  if (nodes_[m]->state != NodeState::kUp || !ring_.Contains(m)) {
+    return false;
+  }
+  // Policy membership is not possession: after a failover the ring can make
+  // this machine a *new* replica for a key whose data it has never received
+  // (it only catches up on the next write).  Local reads require the data.
+  if (nodes_[m]->store.count(key) == 0) {
+    return false;
+  }
+  const std::vector<std::uint32_t> holders = HoldersOf(key);
+  return std::find(holders.begin(), holders.end(), m) != holders.end();
+}
+
+// --- transport ----------------------------------------------------------------
+
+void Mesh::SendPacket(const MeshPacket& packet, Tick now) {
+  ++traffic_[packet.src * config_.machines + packet.dst];
+  Tick extra = 0;
+  bool duplicate = false;
+  Tick dup_extra = 0;
+  if (fault_plan_ != nullptr) {
+    const hsim::FaultPlan::Decision d = fault_plan_->Decide(
+        packet.is_reply ? hsim::FaultLeg::kReply : hsim::FaultLeg::kRequest, packet.src,
+        packet.dst, static_cast<std::uint8_t>(packet.op), now);
+    if (d.drop) {
+      return;
+    }
+    extra = d.extra_delay;
+    duplicate = d.duplicate;
+    dup_extra = d.dup_extra_delay;
+  }
+  engine_->Spawn(DeliverAfter(packet, config_.net_transit + extra));
+  if (duplicate) {
+    engine_->Spawn(DeliverAfter(packet, config_.net_transit + dup_extra));
+  }
+}
+
+hsim::Task<void> Mesh::DeliverAfter(MeshPacket packet, Tick delay) {
+  co_await engine_->Delay(delay);
+  DeliverNow(packet);
+}
+
+void Mesh::DeliverNow(const MeshPacket& packet) {
+  if (packet.is_reply) {
+    // Replies route straight to the initiating channel; the channel id names
+    // the source machine, whose death voids all its pending calls.
+    const std::uint32_t src_machine = packet.channel / config_.lanes;
+    if (nodes_[src_machine]->state == NodeState::kDown) {
+      ++discarded_to_down_;
+      return;
+    }
+    Channel& ch = channels_[packet.channel];
+    if (ch.busy && ch.pending_seq == packet.seq && !ch.reply_ready) {
+      ch.reply = packet;
+      ch.reply_ready = true;
+    } else {
+      ++stale_replies_;
+    }
+    return;
+  }
+  if (nodes_[packet.dst]->state == NodeState::kDown) {
+    ++discarded_to_down_;
+    return;
+  }
+  nodes_[packet.dst]->inbox.push_back(packet);
+}
+
+hsim::Task<CallOutcome> Mesh::Call(hsim::Processor& p, std::uint32_t src, std::uint32_t lane,
+                                   std::uint32_t dst, MeshPacket packet,
+                                   hflight::FlightRecord* rec) {
+  Node& node = *nodes_[src];
+  const std::uint64_t inc = node.incarnation;
+  Channel& ch = channels_[src * config_.lanes + lane];
+  assert(!ch.busy && "lane handed to two concurrent calls");
+  ch.busy = true;
+  packet.is_reply = false;
+  packet.channel = src * config_.lanes + lane;
+  packet.seq = ++ch.next_seq;
+  packet.src = src;
+  packet.dst = dst;
+  ch.pending_seq = packet.seq;
+  ch.reply_ready = false;
+
+  CallOutcome out;
+  std::uint32_t retransmits = 0;
+  int consecutive_timeouts = 0;
+  Tick timeout = config_.net_timeout;
+  const Tick call_begin = p.now();
+  co_await p.Compute(config_.net_send);
+  if (node.incarnation != inc) {
+    co_return out;  // crashed during marshal; Kill already reset the channel
+  }
+  if (rec != nullptr) {
+    packet.flight_id = rec->id;
+  }
+  packet.flight_send = p.now();
+  ++node.counters.rpcs_out;
+  SendPacket(packet, p.now());
+  Tick deadline = p.now() + timeout;
+  while (!ch.reply_ready) {
+    co_await p.BackoffDelay(config_.net_poll);
+    if (node.incarnation != inc) {
+      co_return out;  // crashed mid-call; channel was reset by Kill
+    }
+    if (!ring_.Contains(dst)) {
+      // Failover committed: the destination is gone for good (a partitioned
+      // but live machine stays in the ring and we keep retransmitting).
+      ++node.counters.unavailable;
+      ch.busy = false;
+      out.status = MeshStatus::kUnavailable;
+      co_return out;
+    }
+    if (p.now() >= deadline) {
+      ++retransmits;
+      ++node.counters.retransmits;
+      if (++consecutive_timeouts >= config_.suspect_after) {
+        Suspect(dst);
+      }
+      const Tick jitter = p.rng().NextBelow(timeout / 4 + 1);
+      timeout = std::min(timeout * 2 + jitter, config_.net_timeout_cap);
+      co_await p.Compute(config_.net_send);
+      if (node.incarnation != inc) {
+        co_return out;
+      }
+      packet.flight_send = p.now();
+      SendPacket(packet, p.now());
+      deadline = p.now() + timeout;
+    }
+  }
+  co_await p.Compute(config_.net_recv);
+  if (node.incarnation != inc) {
+    co_return out;
+  }
+  out.status = ch.reply.status;
+  out.value = ch.reply.value;
+  out.version = ch.reply.version;
+  out.sync = std::move(ch.reply.sync);
+  out.retransmits = retransmits;
+  if (rec != nullptr) {
+    rec->AddRpc(p.now() - call_begin, retransmits);
+  }
+  ch.busy = false;
+  co_return out;
+}
+
+// --- lanes --------------------------------------------------------------------
+
+hsim::Task<std::uint32_t> Mesh::AcquireLane(hsim::Processor& p, std::uint32_t m,
+                                            std::uint64_t inc) {
+  Node& node = *nodes_[m];
+  while (node.free_lanes.empty()) {
+    co_await p.BackoffDelay(config_.net_poll);
+    if (node.incarnation != inc) {
+      co_return ~0u;
+    }
+  }
+  const std::uint32_t lane = node.free_lanes.back();
+  node.free_lanes.pop_back();
+  co_return lane;
+}
+
+void Mesh::ReleaseLane(std::uint32_t m, std::uint32_t lane) {
+  nodes_[m]->free_lanes.push_back(lane);
+}
+
+// --- store --------------------------------------------------------------------
+
+hsim::Task<void> Mesh::StoreService(hsim::Processor& p, std::uint32_t m, std::uint64_t key,
+                                    Tick service) {
+  Node& node = *nodes_[m];
+  const Tick requested = p.now();
+  const Tick start = node.store_service->Reserve(service);
+  if (node.site != nullptr) {
+    node.site->RecordAcquire(p.id(), start - requested, start > requested);
+  }
+  co_await engine_->WaitUntil(start + service);
+  if (node.site != nullptr) {
+    node.site->RecordRelease(service);
+  }
+  // One touch of the key's stripe word: real traffic on the member machine's
+  // interconnect, homed by key so hot keys contend at their module.
+  co_await p.Load(*node.store_words[key % kStripeWords]);
+}
+
+void Mesh::ApplyEntry(Node& node, std::uint64_t key, std::uint64_t value,
+                      std::uint64_t version, std::uint64_t op_id, bool log) {
+  node.store[key] = Entry{value, version, op_id};
+  if (log && op_id != 0) {
+    std::vector<std::uint64_t>& versions = op_versions_[op_id];
+    if (std::find(versions.begin(), versions.end(), version) == versions.end()) {
+      versions.push_back(version);
+    }
+  }
+}
+
+// --- server -------------------------------------------------------------------
+
+hsim::Task<void> Mesh::ServerLoop(std::uint32_t m, std::uint64_t inc) {
+  Node& node = *nodes_[m];
+  hsim::Processor& p = node.machine->processor(0);
+  while (node.incarnation == inc && !stopped_) {
+    if (node.inbox.empty()) {
+      co_await p.BackoffDelay(config_.net_poll);
+      continue;
+    }
+    MeshPacket packet = node.inbox.front();
+    node.inbox.pop_front();
+    SrcWindow& w = node.windows[packet.channel];
+    if (packet.seq <= w.last_completed) {
+      ++node.counters.dup_requests;
+      if (packet.seq == w.last_completed && w.has_cached) {
+        MeshPacket resend = w.cached_reply;
+        SendPacket(resend, p.now());
+      }
+      continue;
+    }
+    if (packet.seq == w.active) {
+      ++node.counters.dup_requests;  // retransmit of the op we are executing
+      continue;
+    }
+    w.active = packet.seq;
+    if (packet.op == MeshOp::kPut) {
+      // Puts broadcast to replicas and must not block the inbox (two owners
+      // updating each other's replicas would deadlock their server loops).
+      engine_->Spawn(HandlePutTask(m, inc, packet));
+    } else {
+      co_await HandleInline(p, m, inc, packet);
+    }
+  }
+}
+
+void Mesh::CompleteRequest(Node& node, const MeshPacket& request, MeshPacket reply,
+                           Tick now) {
+  reply.is_reply = true;
+  reply.channel = request.channel;
+  reply.seq = request.seq;
+  reply.op = request.op;
+  reply.src = request.dst;
+  reply.dst = request.src;
+  SrcWindow& w = node.windows[request.channel];
+  w.last_completed = request.seq;
+  w.cached_reply = reply;
+  w.has_cached = true;
+  SendPacket(reply, now);
+}
+
+hsim::Task<void> Mesh::HandleInline(hsim::Processor& p, std::uint32_t m, std::uint64_t inc,
+                                    MeshPacket packet) {
+  Node& node = *nodes_[m];
+  hflight::FlightRecord* rec = nullptr;
+  if (flight_ != nullptr && packet.flight_id != 0) {
+    rec = flight_->Open(m, packet.flight_send, packet.flight_id);
+    rec->enqueue = packet.flight_send;
+    rec->start = p.now();
+    rec->exec = p.now();
+  }
+  MeshPacket reply;
+  switch (packet.op) {
+    case MeshOp::kGet: {
+      // A syncing node refuses gets: its store may predate writes the mesh
+      // already acked, and serving them would un-happen committed data.
+      if (node.state != NodeState::kUp || ring_.OwnerOf(packet.key) != m) {
+        ++node.counters.wrong_owner;
+        reply.status = MeshStatus::kWrongOwner;
+        break;
+      }
+      co_await StoreService(p, m, packet.key, config_.get_service);
+      if (node.incarnation != inc) {
+        co_return;
+      }
+      ++node.counters.gets_served;
+      const auto it = node.store.find(packet.key);
+      reply.status = MeshStatus::kOk;
+      reply.key = packet.key;
+      reply.value = it != node.store.end() ? it->second.value : 0;
+      reply.version = it != node.store.end() ? it->second.version : 0;
+      break;
+    }
+    case MeshOp::kUpdate: {
+      co_await StoreService(p, m, packet.key, config_.update_service);
+      if (node.incarnation != inc) {
+        co_return;
+      }
+      Entry& e = node.store[packet.key];
+      if (packet.version > e.version) {
+        ApplyEntry(node, packet.key, packet.value, packet.version, packet.op_id,
+                   /*log=*/true);
+        ++node.counters.updates_applied;
+      } else {
+        ++node.counters.updates_stale;
+      }
+      reply.status = MeshStatus::kOk;
+      reply.key = packet.key;
+      reply.version = packet.version;
+      break;
+    }
+    case MeshOp::kSyncPull: {
+      // Serve every entry above the cursor, up to a batch: the recovering
+      // peer applies version-gated, so over-serving is harmless.
+      reply.status = MeshStatus::kOk;
+      auto it = node.store.upper_bound(packet.cursor);
+      Tick service = 0;
+      while (it != node.store.end() && reply.sync.size() < config_.sync_batch) {
+        reply.sync.push_back(
+            SyncEntry{it->first, it->second.value, it->second.version, it->second.writer_op});
+        service += config_.sync_entry_service;
+        ++it;
+      }
+      if (!reply.sync.empty()) {
+        co_await StoreService(p, m, reply.sync.back().key, service);
+        if (node.incarnation != inc) {
+          co_return;
+        }
+        node.counters.sync_entries_out += reply.sync.size();
+        reply.cursor = reply.sync.back().key;
+      }
+      break;
+    }
+    case MeshOp::kPut:
+      assert(false && "puts are handled by HandlePutTask");
+      break;
+  }
+  if (rec != nullptr) {
+    rec->done = p.now();
+    flight_->Close(rec, hflight::Fate::kOk, p.now());
+  }
+  CompleteRequest(node, packet, std::move(reply), p.now());
+}
+
+hsim::Task<void> Mesh::HandlePutTask(std::uint32_t m, std::uint64_t inc, MeshPacket packet) {
+  Node& node = *nodes_[m];
+  hsim::Processor& p = node.machine->processor(0);
+  hflight::FlightRecord* rec = nullptr;
+  if (flight_ != nullptr && packet.flight_id != 0) {
+    rec = flight_->Open(m, packet.flight_send, packet.flight_id);
+    rec->enqueue = packet.flight_send;
+    rec->start = p.now();
+    rec->exec = p.now();
+  }
+  MeshPacket reply;
+  if (node.state != NodeState::kUp || ring_.OwnerOf(packet.key) != m) {
+    // Refuse puts while syncing: a version assigned off a half-synced store
+    // could collide with one the mesh already handed out.
+    ++node.counters.wrong_owner;
+    reply.status = MeshStatus::kWrongOwner;
+  } else {
+    const PutResult r = co_await ApplyPut(p, m, inc, packet.key, packet.value, packet.op_id,
+                                          rec);
+    if (node.incarnation != inc) {
+      co_return;  // crashed mid-put: no reply, the client retries elsewhere
+    }
+    if (r.status == MeshStatus::kUnavailable) {
+      co_return;  // shutting down mid-broadcast; drop silently
+    }
+    reply.status = r.status;
+    reply.key = packet.key;
+    reply.version = r.version;
+  }
+  if (rec != nullptr) {
+    rec->done = p.now();
+    flight_->Close(rec, hflight::Fate::kOk, p.now());
+  }
+  CompleteRequest(node, packet, std::move(reply), p.now());
+}
+
+hsim::Task<PutResult> Mesh::ApplyPut(hsim::Processor& p, std::uint32_t m, std::uint64_t inc,
+                                     std::uint64_t key, std::uint64_t value,
+                                     std::uint64_t op_id, hflight::FlightRecord* rec) {
+  Node& node = *nodes_[m];
+  PutResult result;
+  // Serialize writers per key: versions are assigned under this flag.
+  while (node.write_busy.count(key) != 0) {
+    co_await p.BackoffDelay(config_.net_poll);
+    if (node.incarnation != inc) {
+      co_return result;
+    }
+  }
+  node.write_busy.insert(key);
+  const Entry cur = node.store.count(key) != 0 ? node.store[key] : Entry{};
+  if (op_id != 0 && cur.writer_op == op_id) {
+    // A retry of an op this store already carries: the original owner died
+    // after replicating here but before acking the client.  It may also have
+    // died before reaching the *other* holders, so before acking we repair --
+    // re-broadcast the recorded version (idempotent: every replica applies
+    // version-gated).  Dedup hits only happen on owner-failover retries, so
+    // the repair traffic is off the hot path.
+    ++node.counters.put_dedups;
+    for (std::uint32_t t : HoldersOf(key)) {
+      if (t == m) {
+        continue;
+      }
+      MeshPacket repair;
+      repair.op = MeshOp::kUpdate;
+      repair.key = key;
+      repair.value = cur.value;
+      repair.version = cur.version;
+      repair.op_id = op_id;
+      const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+      if (lane == ~0u) {
+        co_return result;
+      }
+      co_await Call(p, m, lane, t, repair, rec);
+      if (node.incarnation != inc) {
+        co_return result;
+      }
+      ReleaseLane(m, lane);
+    }
+    node.write_busy.erase(key);
+    result.status = MeshStatus::kOk;
+    result.version = cur.version;
+    co_return result;
+  }
+  const std::uint64_t version = cur.version + 1;
+
+  // Broadcast before the local apply, failover owner strictly first: if this
+  // machine dies anywhere in here, either no replica has the op (it is as if
+  // it never ran) or the failover owner does (the retry dedups there) --
+  // never a state where the op must re-execute after a replica applied it.
+  const std::vector<std::uint32_t> holders = HoldersOf(key);
+  // Shared fan-out state: heap-owned so spawned subtasks can finish safely
+  // even if this frame returns early on a crash of machine m.
+  struct Fanout {
+    std::uint32_t pending = 0;
+    std::uint32_t abandoned = 0;
+  };
+  auto fan = std::make_shared<Fanout>();
+  bool first = true;
+  for (std::uint32_t t : holders) {
+    if (t == m) {
+      continue;
+    }
+    MeshPacket update;
+    update.op = MeshOp::kUpdate;
+    update.key = key;
+    update.value = value;
+    update.version = version;
+    update.op_id = op_id;
+    if (first) {
+      first = false;
+      const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+      if (lane == ~0u) {
+        co_return result;
+      }
+      co_await Call(p, m, lane, t, update, rec);
+      if (node.incarnation != inc) {
+        co_return result;  // lane was reset by Kill; nothing to release
+      }
+      ReleaseLane(m, lane);
+    } else {
+      // Remaining holders in parallel, each on its own lane.
+      ++fan->pending;
+      engine_->Spawn([](Mesh* mesh, std::uint32_t src, std::uint64_t my_inc,
+                        std::uint32_t dst, MeshPacket pkt,
+                        std::shared_ptr<Fanout> state) -> hsim::Task<void> {
+        hsim::Processor& pp = mesh->nodes_[src]->machine->processor(0);
+        const std::uint32_t lane = co_await mesh->AcquireLane(pp, src, my_inc);
+        if (lane == ~0u) {
+          ++state->abandoned;
+          co_return;
+        }
+        co_await mesh->Call(pp, src, lane, dst, pkt, nullptr);
+        if (mesh->nodes_[src]->incarnation != my_inc) {
+          ++state->abandoned;
+          co_return;
+        }
+        mesh->ReleaseLane(src, lane);
+        --state->pending;
+      }(this, m, inc, t, update, fan));
+    }
+  }
+  while (fan->pending > 0 && fan->abandoned == 0) {
+    co_await p.BackoffDelay(config_.net_poll);
+    if (node.incarnation != inc) {
+      co_return result;
+    }
+  }
+  if (fan->abandoned != 0 || node.incarnation != inc) {
+    co_return result;
+  }
+
+  co_await StoreService(p, m, key, config_.put_service);
+  if (node.incarnation != inc) {
+    co_return result;
+  }
+  ApplyEntry(node, key, value, version, op_id, /*log=*/true);
+  ++node.counters.puts_served;
+  node.write_busy.erase(key);
+  result.status = MeshStatus::kOk;
+  result.version = version;
+  co_return result;
+}
+
+// --- client operations --------------------------------------------------------
+
+hsim::Task<MeshStatus> Mesh::ClientRead(hsim::Processor& p, std::uint32_t m,
+                                        std::uint64_t key, std::uint64_t* value,
+                                        bool* served_locally, hflight::FlightRecord* rec) {
+  Node& node = *nodes_[m];
+  const std::uint64_t inc = node.incarnation;
+  while (true) {
+    if (node.incarnation != inc) {
+      co_return MeshStatus::kUnavailable;
+    }
+    if (HoldsLocally(m, key)) {
+      co_await StoreService(p, m, key, config_.get_service);
+      if (node.incarnation != inc) {
+        co_return MeshStatus::kUnavailable;
+      }
+      const auto it = node.store.find(key);
+      *value = it != node.store.end() ? it->second.value : 0;
+      ++node.counters.local_reads;
+      if (served_locally != nullptr) {
+        *served_locally = true;
+      }
+      co_return MeshStatus::kOk;
+    }
+    const std::uint32_t dst = ring_.OwnerOf(key);
+    if (dst == m) {
+      // Own machine is the owner but not serving (syncing after recovery);
+      // wait for the catch-up round to flip it kUp.
+      co_await p.BackoffDelay(config_.net_poll);
+      continue;
+    }
+    const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+    if (lane == ~0u) {
+      co_return MeshStatus::kUnavailable;
+    }
+    MeshPacket get;
+    get.op = MeshOp::kGet;
+    get.key = key;
+    const CallOutcome out = co_await Call(p, m, lane, dst, get, rec);
+    if (node.incarnation != inc) {
+      co_return MeshStatus::kUnavailable;
+    }
+    ReleaseLane(m, lane);
+    if (out.status == MeshStatus::kOk) {
+      *value = out.value;
+      ++node.counters.forwarded_reads;
+      if (served_locally != nullptr) {
+        *served_locally = false;
+      }
+      co_return MeshStatus::kOk;
+    }
+    // kWrongOwner / kUnavailable: membership moved under us; re-route.
+    co_await p.BackoffDelay(config_.net_poll);
+  }
+}
+
+hsim::Task<MeshStatus> Mesh::ClientWrite(hsim::Processor& p, std::uint32_t m,
+                                         std::uint64_t key, std::uint64_t value,
+                                         std::uint64_t op_id, std::uint64_t* version,
+                                         hflight::FlightRecord* rec) {
+  Node& node = *nodes_[m];
+  const std::uint64_t inc = node.incarnation;
+  while (true) {
+    if (node.incarnation != inc) {
+      co_return MeshStatus::kUnavailable;
+    }
+    const std::uint32_t dst = ring_.OwnerOf(key);
+    if (dst == m && node.state != NodeState::kUp) {
+      co_await p.BackoffDelay(config_.net_poll);
+      continue;  // own store is syncing; wait for the catch-up round
+    }
+    if (dst == m) {
+      const PutResult r = co_await ApplyPut(p, m, inc, key, value, op_id, rec);
+      if (node.incarnation != inc) {
+        co_return MeshStatus::kUnavailable;
+      }
+      if (r.status == MeshStatus::kOk) {
+        *version = r.version;
+        co_return MeshStatus::kOk;
+      }
+    } else {
+      const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+      if (lane == ~0u) {
+        co_return MeshStatus::kUnavailable;
+      }
+      MeshPacket put;
+      put.op = MeshOp::kPut;
+      put.key = key;
+      put.value = value;
+      put.op_id = op_id;
+      const CallOutcome out = co_await Call(p, m, lane, dst, put, rec);
+      if (node.incarnation != inc) {
+        co_return MeshStatus::kUnavailable;
+      }
+      ReleaseLane(m, lane);
+      if (out.status == MeshStatus::kOk) {
+        *version = out.version;
+        co_return MeshStatus::kOk;
+      }
+    }
+    co_await p.BackoffDelay(config_.net_poll);
+  }
+}
+
+// --- membership / chaos -------------------------------------------------------
+
+void Mesh::Suspect(std::uint32_t m) {
+  if (!ring_.Contains(m)) {
+    return;
+  }
+  if (nodes_[m]->state != NodeState::kDown) {
+    return;  // alive (possibly partitioned): never evicted on suspicion alone
+  }
+  ring_.RemoveMachine(m);
+  ++epoch_;
+  ++failovers_;
+  nodes_[m]->timeline.failover_at = engine_->now();
+}
+
+void Mesh::Kill(std::uint32_t m) {
+  Node& node = *nodes_[m];
+  node.state = NodeState::kDown;
+  ++node.incarnation;  // fences every task of the old incarnation
+  node.store.clear();
+  node.inbox.clear();
+  node.write_busy.clear();
+  for (SrcWindow& w : node.windows) {
+    w = SrcWindow{};
+  }
+  // Reset the node's outbound channels but keep each lane's sequence counter:
+  // seq numbers name the transport endpoint, not the incarnation, so stale
+  // replies from the previous life can never match a post-recovery call.
+  node.free_lanes.clear();
+  for (std::uint32_t lane = config_.lanes; lane-- > 0;) {
+    Channel& ch = channels_[m * config_.lanes + lane];
+    const std::uint64_t seq = ch.next_seq;
+    ch = Channel{};
+    ch.next_seq = seq;
+    node.free_lanes.push_back(lane);
+  }
+  node.timeline.killed_at = engine_->now();
+}
+
+void Mesh::Recover(std::uint32_t m) {
+  Node& node = *nodes_[m];
+  assert(node.state == NodeState::kDown && "recover requires a killed machine");
+  node.state = NodeState::kSyncing;
+  node.timeline.recover_at = engine_->now();
+  engine_->Spawn(ServerLoop(m, node.incarnation));
+  engine_->Spawn(ResyncTask(m, node.incarnation));
+}
+
+hsim::Task<void> Mesh::KillAt(Tick at, std::uint32_t m) {
+  co_await engine_->WaitUntil(at);
+  Kill(m);
+}
+
+hsim::Task<void> Mesh::RecoverAt(Tick at, std::uint32_t m) {
+  co_await engine_->WaitUntil(at);
+  Recover(m);
+}
+
+hsim::Task<bool> Mesh::PullRound(hsim::Processor& p, std::uint32_t m, std::uint64_t inc) {
+  Node& node = *nodes_[m];
+  // Pull everything every live peer holds, version-gated on apply.  The union
+  // over peers covers every key this machine will hold after rejoin (each key
+  // has at least one live holder; the chaos model is single-failure).
+  const std::vector<std::uint32_t> peers = ring_.members();
+  for (std::uint32_t peer : peers) {
+    if (peer == m) {
+      continue;
+    }
+    std::uint64_t cursor = 0;
+    while (true) {
+      if (node.incarnation != inc) {
+        co_return false;
+      }
+      if (!ring_.Contains(peer)) {
+        break;  // peer died mid-sync; its keys are covered by other holders
+      }
+      const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+      if (lane == ~0u) {
+        co_return false;
+      }
+      MeshPacket pull;
+      pull.op = MeshOp::kSyncPull;
+      pull.cursor = cursor;
+      const CallOutcome out = co_await Call(p, m, lane, peer, pull, nullptr);
+      if (node.incarnation != inc) {
+        co_return false;
+      }
+      ReleaseLane(m, lane);
+      if (out.status != MeshStatus::kOk) {
+        break;
+      }
+      if (out.sync.empty()) {
+        break;
+      }
+      Tick service = 0;
+      for (const SyncEntry& e : out.sync) {
+        service += config_.sync_entry_service;
+        Entry& mine = node.store[e.key];
+        if (e.version > mine.version) {
+          // Resync replicates an apply the ledger already recorded at its
+          // origin; log=false keeps the exact-once ledger fresh-applies-only.
+          ApplyEntry(node, e.key, e.value, e.version, e.writer_op, /*log=*/false);
+          ++node.counters.sync_entries_in;
+        }
+      }
+      co_await StoreService(p, m, out.sync.back().key, service);
+      if (node.incarnation != inc) {
+        co_return false;
+      }
+      cursor = out.sync.back().key;
+    }
+  }
+  co_return true;
+}
+
+hsim::Task<void> Mesh::ResyncTask(std::uint32_t m, std::uint64_t inc) {
+  Node& node = *nodes_[m];
+  hsim::Processor& p = node.machine->processor(2);
+  // Round 1: bulk state transfer while still outside the ring (no traffic is
+  // routed here, so the pull window costs the mesh nothing but sync RPCs).
+  if (!co_await PullRound(p, m, inc)) {
+    co_return;
+  }
+  // Rejoin: ring add + kUp commit at one host instant, so every write
+  // broadcast from now on includes this machine.
+  ring_.AddMachine(m);
+  ++epoch_;
+  node.state = NodeState::kUp;
+  // Round 2: catch-up.  A write that committed at a surviving owner between
+  // round 1 reading its store and the rejoin above is closed here; writes
+  // after the rejoin reach us directly via broadcast.
+  if (!co_await PullRound(p, m, inc)) {
+    co_return;
+  }
+  node.timeline.synced_at = p.now();
+  ++resyncs_;
+}
+
+// --- verification / metrics ---------------------------------------------------
+
+const Mesh::Entry* Mesh::Lookup(std::uint32_t m, std::uint64_t key) const {
+  const auto it = nodes_[m]->store.find(key);
+  return it == nodes_[m]->store.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Mesh::Digest() const {
+  std::uint64_t d = ring_.Digest() + HashRing::Mix(epoch_ * 31 + failovers_ * 7 + resyncs_);
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    const Node& node = *nodes_[m];
+    for (const auto& [key, e] : node.store) {
+      d += HashRing::Mix(key ^ e.value ^ (e.version << 32) ^ e.writer_op);
+    }
+    const NodeCounters& c = node.counters;
+    d += HashRing::Mix((std::uint64_t{m} << 48) ^ c.local_reads ^ (c.forwarded_reads << 8) ^
+                       (c.gets_served << 16) ^ (c.puts_served << 24) ^
+                       (c.updates_applied << 32) ^ (c.retransmits << 40) ^ c.dup_requests);
+  }
+  for (std::uint64_t t : traffic_) {
+    d = d * 1099511628211ULL + t;
+  }
+  for (const auto& [op, versions] : op_versions_) {
+    for (std::uint64_t v : versions) {
+      d += HashRing::Mix(op ^ (v << 20));
+    }
+  }
+  return d;
+}
+
+void Mesh::PublishCounters(hmetrics::Registry* registry) const {
+  if (registry == nullptr) {
+    return;
+  }
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    const std::string prefix = "mesh.machine" + std::to_string(m) + ".";
+    const NodeCounters& c = nodes_[m]->counters;
+    registry->counter(prefix + "local_reads").Add(c.local_reads);
+    registry->counter(prefix + "forwarded_reads").Add(c.forwarded_reads);
+    registry->counter(prefix + "gets_served").Add(c.gets_served);
+    registry->counter(prefix + "puts_served").Add(c.puts_served);
+    registry->counter(prefix + "put_dedups").Add(c.put_dedups);
+    registry->counter(prefix + "updates_applied").Add(c.updates_applied);
+    registry->counter(prefix + "updates_stale").Add(c.updates_stale);
+    registry->counter(prefix + "sync_entries_in").Add(c.sync_entries_in);
+    registry->counter(prefix + "sync_entries_out").Add(c.sync_entries_out);
+    registry->counter(prefix + "wrong_owner").Add(c.wrong_owner);
+    registry->counter(prefix + "dup_requests").Add(c.dup_requests);
+    registry->counter(prefix + "rpcs_out").Add(c.rpcs_out);
+    registry->counter(prefix + "retransmits").Add(c.retransmits);
+    registry->counter(prefix + "unavailable").Add(c.unavailable);
+  }
+  for (std::uint32_t s = 0; s < config_.machines; ++s) {
+    for (std::uint32_t t = 0; t < config_.machines; ++t) {
+      const std::uint64_t n = traffic(s, t);
+      if (n != 0) {
+        registry
+            ->counter("mesh.traffic." + std::to_string(s) + "_" + std::to_string(t))
+            .Add(n);
+      }
+    }
+  }
+  registry->counter("mesh.epochs").Add(epoch_);
+  registry->counter("mesh.failovers").Add(failovers_);
+  registry->counter("mesh.resyncs").Add(resyncs_);
+  registry->counter("mesh.stale_replies").Add(stale_replies_);
+  if (fault_plan_ != nullptr) {
+    registry->counter("mesh.transport_dropped").Add(fault_plan_->counters().dropped());
+    registry->counter("mesh.transport_partitioned")
+        .Add(fault_plan_->counters().partitioned());
+  }
+}
+
+void Mesh::AttachLockProfiler(hprof::SiteTable* sites) {
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    nodes_[m]->site =
+        sites == nullptr
+            ? nullptr
+            : &sites->AddSite("machine" + std::to_string(m) + "/store",
+                              config_.member.num_processors());
+  }
+}
+
+}  // namespace hmesh

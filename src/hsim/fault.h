@@ -20,6 +20,17 @@
 // The force_* knobs inject the fault on the first N sends of a leg
 // unconditionally -- unit tests use them to script one precise loss instead of
 // fishing for it with probabilities.
+//
+// Whole-node partitions: PartitionNode(node, from, until) drops every leg
+// whose source OR destination id equals `node` while the send instant lies in
+// [from, until) -- the "unplug one machine's network cable for a window" knob
+// chaos scenarios need, without plumbing per-link overrides for every peer.
+// The id space is whatever the transport passes as src/dst (processor ids for
+// the kernel's intra-machine RPC, machine ids for hmesh's inter-machine
+// transport).  Partition drops are decided before any force knob or
+// probability draw and consume no PRNG state, so adding a partition window
+// perturbs nothing outside it.  HealNode(node, now) ends every active or
+// future window for the node at `now` -- the cable is plugged back in early.
 
 #ifndef HSIM_FAULT_H_
 #define HSIM_FAULT_H_
@@ -27,6 +38,7 @@
 #include <cstdint>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "src/hsim/random.h"
 #include "src/hsim/types.h"
@@ -84,9 +96,15 @@ class FaultPlan {
     std::uint64_t replies_duplicated = 0;
     std::uint64_t requests_delayed = 0;
     std::uint64_t replies_delayed = 0;
+    // Partition-window drops, counted separately from the probabilistic ones
+    // (they are also included in requests_dropped/replies_dropped so the
+    // transport reconciliation "seen == delivered + dropped" stays exact).
+    std::uint64_t requests_partitioned = 0;
+    std::uint64_t replies_partitioned = 0;
 
     std::uint64_t dropped() const { return requests_dropped + replies_dropped; }
     std::uint64_t duplicated() const { return requests_duplicated + replies_duplicated; }
+    std::uint64_t partitioned() const { return requests_partitioned + replies_partitioned; }
   };
 
   explicit FaultPlan(const FaultConfig& config) : config_(config), rng_(config.seed) {}
@@ -104,11 +122,54 @@ class FaultPlan {
   }
   void SetOpConfig(std::uint8_t op, const FaultConfig& config) { op_configs_[op] = config; }
 
-  Decision Decide(FaultLeg leg, ProcId src, ProcId dst, std::uint8_t op) {
+  // --- whole-node partitions --------------------------------------------------
+  static constexpr Tick kNeverHeals = ~Tick{0};
+
+  // Drops every leg to or from `node` while the send instant is in
+  // [from, until).  Windows may overlap; `until = kNeverHeals` partitions the
+  // node until an explicit HealNode.
+  void PartitionNode(std::uint32_t node, Tick from, Tick until = kNeverHeals) {
+    partitions_[node].push_back(Window{from, until});
+  }
+
+  // Ends every active or future partition window for `node` at `now`.
+  void HealNode(std::uint32_t node, Tick now) {
+    auto it = partitions_.find(node);
+    if (it == partitions_.end()) {
+      return;
+    }
+    for (Window& w : it->second) {
+      if (w.until > now) {
+        w.until = w.from > now ? w.from : now;
+      }
+    }
+  }
+
+  bool NodePartitioned(std::uint32_t node, Tick now) const {
+    auto it = partitions_.find(node);
+    if (it == partitions_.end()) {
+      return false;
+    }
+    for (const Window& w : it->second) {
+      if (w.from <= now && now < w.until) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // `now` is the send instant; it only matters when partition windows are
+  // installed (the probabilistic faults are time-free).
+  Decision Decide(FaultLeg leg, ProcId src, ProcId dst, std::uint8_t op, Tick now = 0) {
     const FaultConfig& cfg = Select(src, dst, op);
     const bool request = leg == FaultLeg::kRequest;
     Decision decision;
     (request ? counters_.requests_seen : counters_.replies_seen)++;
+
+    if (!partitions_.empty() && (NodePartitioned(src, now) || NodePartitioned(dst, now))) {
+      (request ? counters_.requests_partitioned : counters_.replies_partitioned)++;
+      return Drop(request, &decision);
+    }
 
     std::uint32_t& force_drop = request ? forced_.drop_requests : forced_.drop_replies;
     std::uint32_t& force_dup = request ? forced_.dup_requests : forced_.dup_replies;
@@ -146,6 +207,11 @@ class FaultPlan {
   }
 
  private:
+  struct Window {
+    Tick from = 0;
+    Tick until = kNeverHeals;
+  };
+
   struct ForcedState {
     std::uint32_t drop_requests = 0;
     std::uint32_t drop_replies = 0;
@@ -193,6 +259,7 @@ class FaultPlan {
   ForcedState forced_;
   std::map<std::pair<ProcId, ProcId>, FaultConfig> link_configs_;
   std::map<std::uint8_t, FaultConfig> op_configs_;
+  std::map<std::uint32_t, std::vector<Window>> partitions_;
 };
 
 }  // namespace hsim

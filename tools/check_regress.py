@@ -41,7 +41,7 @@ SKIP_BENCHES = {"native_lock_latency", "native_hybrid_table", "native_cluster"}
 # quantile redefines the metric, so it is a coordinate, not a measurement.
 COORD_KEYS = {"p", "cap_us", "hold_us", "cluster_size", "clusters", "procs",
               "processors", "drop_pct", "dup_pct", "iters", "offered_rps",
-              "quantile"}
+              "quantile", "machines"}
 
 ABS_TOL = 0.5        # absolute slack for generic metrics
 REL_TOL = 0.35       # relative slack for generic metrics
@@ -143,6 +143,26 @@ def self_test():
     blame_requantiled = json.loads(json.dumps(blame_base))
     blame_requantiled[0]["series"][1]["points"][0]["quantile"] = 0.9
 
+    # The hmesh chaos gates: an acked write lost after failover, a ring sweep
+    # re-based to fewer machines, and a collapsed local-read fraction must all
+    # fail; the exact-count fields get no slack from the generic band.
+    mesh_base = [{"bench": "mesh_scaling", "params": {}, "env": {},
+                  "series": [{"name": "mesh_gates", "labels": {"scenario": "all"},
+                              "points": [{"machines": 8,
+                                          "read_speedup_8": 7.4,
+                                          "chaos_lost_ops": 0.0,
+                                          "chaos_replay_identical": 1.0}]},
+                             {"name": "mesh_scaling",
+                              "labels": {"workload": "read_mostly"},
+                              "points": [{"machines": 8, "frac_local": 0.87}]}]}]
+    mesh_same = json.loads(json.dumps(mesh_base))
+    mesh_lost = json.loads(json.dumps(mesh_base))
+    mesh_lost[0]["series"][0]["points"][0]["chaos_lost_ops"] = 2.0
+    mesh_resized = json.loads(json.dumps(mesh_base))
+    mesh_resized[0]["series"][1]["points"][0]["machines"] = 4
+    mesh_remote = json.loads(json.dumps(mesh_base))
+    mesh_remote[0]["series"][1]["points"][0]["frac_local"] = 0.4
+
     checks = [
         ("identical results pass", compare(base, same) == []),
         ("in-band drift passes", compare(base, drifted) == []),
@@ -159,6 +179,11 @@ def self_test():
          compare(blame_base, blame_broken) != []),
         ("re-based blame quantile fails",
          compare(blame_base, blame_requantiled) != []),
+        ("identical mesh series passes", compare(mesh_base, mesh_same) == []),
+        ("lost chaos op fails", compare(mesh_base, mesh_lost) != []),
+        ("re-based machine sweep fails", compare(mesh_base, mesh_resized) != []),
+        ("collapsed local-read fraction fails",
+         compare(mesh_base, mesh_remote) != []),
     ]
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:
