@@ -25,6 +25,8 @@ const char* MeshOpName(MeshOp op) {
       return "update";
     case MeshOp::kSyncPull:
       return "sync_pull";
+    case MeshOp::kSyncOps:
+      return "sync_ops";
   }
   return "?";
 }
@@ -279,11 +281,28 @@ hsim::Task<void> Mesh::StoreService(hsim::Processor& p, std::uint32_t m, std::ui
 void Mesh::ApplyEntry(Node& node, std::uint64_t key, std::uint64_t value,
                       std::uint64_t version, std::uint64_t op_id, bool log) {
   node.store[key] = Entry{value, version, op_id};
+  RecordAppliedOp(node, op_id, key, value, version);
   if (log && op_id != 0) {
     std::vector<std::uint64_t>& versions = op_versions_[op_id];
     if (std::find(versions.begin(), versions.end(), version) == versions.end()) {
       versions.push_back(version);
     }
+  }
+}
+
+void Mesh::RecordAppliedOp(Node& node, std::uint64_t op_id, std::uint64_t key,
+                           std::uint64_t value, std::uint64_t version) {
+  if (op_id == 0) {
+    return;  // preload / resync of seeded entries: nothing to dedup against
+  }
+  const auto [it, inserted] = node.applied_ops.emplace(op_id, AppliedOp{key, value, version});
+  if (!inserted) {
+    return;  // version-gated repairs re-apply known ops; keep the original record
+  }
+  node.applied_fifo.push_back(op_id);
+  while (node.applied_fifo.size() > config_.dedup_window) {
+    node.applied_ops.erase(node.applied_fifo.front());
+    node.applied_fifo.pop_front();
   }
 }
 
@@ -362,12 +381,21 @@ hsim::Task<void> Mesh::HandleInline(hsim::Processor& p, std::uint32_t m, std::ui
       if (node.incarnation != inc) {
         co_return;
       }
-      ++node.counters.gets_served;
       const auto it = node.store.find(packet.key);
+      if (it == node.store.end()) {
+        // An up owner stores every key it serves (seeded at Start, restored
+        // by resync); a miss here is data loss.  Surface it -- a fabricated
+        // value=0/version=0 would read as a legitimate stored zero.
+        ++node.counters.get_misses;
+        reply.status = MeshStatus::kNotFound;
+        reply.key = packet.key;
+        break;
+      }
+      ++node.counters.gets_served;
       reply.status = MeshStatus::kOk;
       reply.key = packet.key;
-      reply.value = it != node.store.end() ? it->second.value : 0;
-      reply.version = it != node.store.end() ? it->second.version : 0;
+      reply.value = it->second.value;
+      reply.version = it->second.version;
       break;
     }
     case MeshOp::kUpdate: {
@@ -389,10 +417,11 @@ hsim::Task<void> Mesh::HandleInline(hsim::Processor& p, std::uint32_t m, std::ui
       break;
     }
     case MeshOp::kSyncPull: {
-      // Serve every entry above the cursor, up to a batch: the recovering
-      // peer applies version-gated, so over-serving is harmless.
+      // Serve every entry at or above the cursor (the *first* key to serve,
+      // so the initial pull at cursor 0 includes key 0), up to a batch: the
+      // recovering peer applies version-gated, so over-serving is harmless.
       reply.status = MeshStatus::kOk;
-      auto it = node.store.upper_bound(packet.cursor);
+      auto it = node.store.lower_bound(packet.cursor);
       Tick service = 0;
       while (it != node.store.end() && reply.sync.size() < config_.sync_batch) {
         reply.sync.push_back(
@@ -406,7 +435,30 @@ hsim::Task<void> Mesh::HandleInline(hsim::Processor& p, std::uint32_t m, std::ui
           co_return;
         }
         node.counters.sync_entries_out += reply.sync.size();
-        reply.cursor = reply.sync.back().key;
+        reply.cursor = reply.sync.back().key + 1;
+      }
+      break;
+    }
+    case MeshOp::kSyncOps: {
+      // Same cursor discipline over the dedup table: op id -> record, so a
+      // rejoined owner recognises retries of puts it never saw (the store's
+      // per-key writer_op only carries the *last* writer of each key).
+      reply.status = MeshStatus::kOk;
+      auto it = node.applied_ops.lower_bound(packet.cursor);
+      Tick service = 0;
+      while (it != node.applied_ops.end() && reply.sync.size() < config_.sync_batch) {
+        reply.sync.push_back(
+            SyncEntry{it->second.key, it->second.value, it->second.version, it->first});
+        service += config_.sync_entry_service;
+        ++it;
+      }
+      if (!reply.sync.empty()) {
+        co_await StoreService(p, m, reply.sync.back().key, service);
+        if (node.incarnation != inc) {
+          co_return;
+        }
+        node.counters.sync_ops_out += reply.sync.size();
+        reply.cursor = reply.sync.back().writer_op + 1;
       }
       break;
     }
@@ -470,14 +522,18 @@ hsim::Task<PutResult> Mesh::ApplyPut(hsim::Processor& p, std::uint32_t m, std::u
     }
   }
   node.write_busy.insert(key);
-  const Entry cur = node.store.count(key) != 0 ? node.store[key] : Entry{};
-  if (op_id != 0 && cur.writer_op == op_id) {
-    // A retry of an op this store already carries: the original owner died
-    // after replicating here but before acking the client.  It may also have
-    // died before reaching the *other* holders, so before acking we repair --
-    // re-broadcast the recorded version (idempotent: every replica applies
-    // version-gated).  Dedup hits only happen on owner-failover retries, so
-    // the repair traffic is off the hot path.
+  const auto dedup_it = op_id != 0 ? node.applied_ops.find(op_id) : node.applied_ops.end();
+  if (dedup_it != node.applied_ops.end()) {
+    // A retry of an op this node already applied: the original owner died
+    // after replicating here but before acking the client.  The record lives
+    // in the per-node applied-op table, not the store's per-key writer slot
+    // -- a later write to the same key must not erase it, or the retry would
+    // re-execute and be applied at two distinct versions.  The owner may
+    // also have died before reaching the *other* holders, so before acking
+    // we repair -- re-broadcast the recorded version (idempotent: every
+    // replica applies version-gated).  Dedup hits only happen on
+    // owner-failover retries, so the repair traffic is off the hot path.
+    const AppliedOp recorded = dedup_it->second;  // copy: the table can move under awaits
     ++node.counters.put_dedups;
     for (std::uint32_t t : HoldersOf(key)) {
       if (t == m) {
@@ -486,8 +542,8 @@ hsim::Task<PutResult> Mesh::ApplyPut(hsim::Processor& p, std::uint32_t m, std::u
       MeshPacket repair;
       repair.op = MeshOp::kUpdate;
       repair.key = key;
-      repair.value = cur.value;
-      repair.version = cur.version;
+      repair.value = recorded.value;
+      repair.version = recorded.version;
       repair.op_id = op_id;
       const std::uint32_t lane = co_await AcquireLane(p, m, inc);
       if (lane == ~0u) {
@@ -501,10 +557,12 @@ hsim::Task<PutResult> Mesh::ApplyPut(hsim::Processor& p, std::uint32_t m, std::u
     }
     node.write_busy.erase(key);
     result.status = MeshStatus::kOk;
-    result.version = cur.version;
+    result.version = recorded.version;
     co_return result;
   }
-  const std::uint64_t version = cur.version + 1;
+  const auto cur_it = node.store.find(key);
+  const std::uint64_t version =
+      (cur_it != node.store.end() ? cur_it->second.version : 0) + 1;
 
   // Broadcast before the local apply, failover owner strictly first: if this
   // machine dies anywhere in here, either no replica has the op (it is as if
@@ -708,6 +766,8 @@ void Mesh::Kill(std::uint32_t m) {
   node.state = NodeState::kDown;
   ++node.incarnation;  // fences every task of the old incarnation
   node.store.clear();
+  node.applied_ops.clear();
+  node.applied_fifo.clear();
   node.inbox.clear();
   node.write_busy.clear();
   for (SrcWindow& w : node.windows) {
@@ -746,45 +806,36 @@ hsim::Task<void> Mesh::RecoverAt(Tick at, std::uint32_t m) {
   Recover(m);
 }
 
-hsim::Task<bool> Mesh::PullRound(hsim::Processor& p, std::uint32_t m, std::uint64_t inc) {
+hsim::Task<bool> Mesh::PullFrom(hsim::Processor& p, std::uint32_t m, std::uint64_t inc,
+                                std::uint32_t peer, MeshOp op) {
   Node& node = *nodes_[m];
-  // Pull everything every live peer holds, version-gated on apply.  The union
-  // over peers covers every key this machine will hold after rejoin (each key
-  // has at least one live holder; the chaos model is single-failure).
-  const std::vector<std::uint32_t> peers = ring_.members();
-  for (std::uint32_t peer : peers) {
-    if (peer == m) {
-      continue;
+  std::uint64_t cursor = 0;  // first key (kSyncPull) or op id (kSyncOps) to serve
+  while (true) {
+    if (node.incarnation != inc) {
+      co_return false;
     }
-    std::uint64_t cursor = 0;
-    while (true) {
-      if (node.incarnation != inc) {
-        co_return false;
-      }
-      if (!ring_.Contains(peer)) {
-        break;  // peer died mid-sync; its keys are covered by other holders
-      }
-      const std::uint32_t lane = co_await AcquireLane(p, m, inc);
-      if (lane == ~0u) {
-        co_return false;
-      }
-      MeshPacket pull;
-      pull.op = MeshOp::kSyncPull;
-      pull.cursor = cursor;
-      const CallOutcome out = co_await Call(p, m, lane, peer, pull, nullptr);
-      if (node.incarnation != inc) {
-        co_return false;
-      }
-      ReleaseLane(m, lane);
-      if (out.status != MeshStatus::kOk) {
-        break;
-      }
-      if (out.sync.empty()) {
-        break;
-      }
-      Tick service = 0;
-      for (const SyncEntry& e : out.sync) {
-        service += config_.sync_entry_service;
+    if (!ring_.Contains(peer)) {
+      co_return true;  // peer died mid-sync; its keys are covered by other holders
+    }
+    const std::uint32_t lane = co_await AcquireLane(p, m, inc);
+    if (lane == ~0u) {
+      co_return false;
+    }
+    MeshPacket pull;
+    pull.op = op;
+    pull.cursor = cursor;
+    const CallOutcome out = co_await Call(p, m, lane, peer, pull, nullptr);
+    if (node.incarnation != inc) {
+      co_return false;
+    }
+    ReleaseLane(m, lane);
+    if (out.status != MeshStatus::kOk || out.sync.empty()) {
+      co_return true;
+    }
+    Tick service = 0;
+    for (const SyncEntry& e : out.sync) {
+      service += config_.sync_entry_service;
+      if (op == MeshOp::kSyncPull) {
         Entry& mine = node.store[e.key];
         if (e.version > mine.version) {
           // Resync replicates an apply the ledger already recorded at its
@@ -792,12 +843,35 @@ hsim::Task<bool> Mesh::PullRound(hsim::Processor& p, std::uint32_t m, std::uint6
           ApplyEntry(node, e.key, e.value, e.version, e.writer_op, /*log=*/false);
           ++node.counters.sync_entries_in;
         }
+      } else {
+        RecordAppliedOp(node, e.writer_op, e.key, e.value, e.version);
+        ++node.counters.sync_ops_in;
       }
-      co_await StoreService(p, m, out.sync.back().key, service);
-      if (node.incarnation != inc) {
-        co_return false;
-      }
-      cursor = out.sync.back().key;
+    }
+    co_await StoreService(p, m, out.sync.back().key, service);
+    if (node.incarnation != inc) {
+      co_return false;
+    }
+    cursor = (op == MeshOp::kSyncPull ? out.sync.back().key : out.sync.back().writer_op) + 1;
+  }
+}
+
+hsim::Task<bool> Mesh::PullRound(hsim::Processor& p, std::uint32_t m, std::uint64_t inc) {
+  // Pull everything every live peer holds -- store entries (version-gated on
+  // apply) and the dedup table (so retries of puts the dead owner never saw
+  // still dedup here after rejoin).  The union over peers covers every key
+  // this machine will hold after rejoin (each key has at least one live
+  // holder; the chaos model is single-failure).
+  const std::vector<std::uint32_t> peers = ring_.members();
+  for (std::uint32_t peer : peers) {
+    if (peer == m) {
+      continue;
+    }
+    if (!co_await PullFrom(p, m, inc, peer, MeshOp::kSyncPull)) {
+      co_return false;
+    }
+    if (!co_await PullFrom(p, m, inc, peer, MeshOp::kSyncOps)) {
+      co_return false;
     }
   }
   co_return true;
@@ -840,6 +914,9 @@ std::uint64_t Mesh::Digest() const {
     for (const auto& [key, e] : node.store) {
       d += HashRing::Mix(key ^ e.value ^ (e.version << 32) ^ e.writer_op);
     }
+    for (const auto& [op, rec] : node.applied_ops) {
+      d += HashRing::Mix(op ^ (rec.key << 4) ^ (rec.value << 8) ^ (rec.version << 44));
+    }
     const NodeCounters& c = node.counters;
     d += HashRing::Mix((std::uint64_t{m} << 48) ^ c.local_reads ^ (c.forwarded_reads << 8) ^
                        (c.gets_served << 16) ^ (c.puts_served << 24) ^
@@ -872,6 +949,9 @@ void Mesh::PublishCounters(hmetrics::Registry* registry) const {
     registry->counter(prefix + "updates_stale").Add(c.updates_stale);
     registry->counter(prefix + "sync_entries_in").Add(c.sync_entries_in);
     registry->counter(prefix + "sync_entries_out").Add(c.sync_entries_out);
+    registry->counter(prefix + "sync_ops_in").Add(c.sync_ops_in);
+    registry->counter(prefix + "sync_ops_out").Add(c.sync_ops_out);
+    registry->counter(prefix + "get_misses").Add(c.get_misses);
     registry->counter(prefix + "wrong_owner").Add(c.wrong_owner);
     registry->counter(prefix + "dup_requests").Add(c.dup_requests);
     registry->counter(prefix + "rpcs_out").Add(c.rpcs_out);

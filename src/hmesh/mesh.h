@@ -31,15 +31,20 @@
 // the window in which a write could have committed without the rejoiner.
 //
 // Exact-once across owner death.  An owner applies a write in this order:
-// dedup check (per-key writer-op id) -> broadcast to the *failover owner
-// first* (the next distinct machine on the ring, which by construction
-// already replicates the key), await its ack -> broadcast to the remaining
-// holders in parallel -> apply locally -> ack the client.  If the owner dies
+// dedup check against a bounded per-node table of recently applied ops
+// (op id -> key/value/version, FIFO-evicted past dedup_window; a single
+// per-key slot would be wiped by the next writer to the same key and let a
+// late retry re-execute) -> broadcast to the *failover owner first* (the
+// next distinct machine on the ring, which by construction already
+// replicates the key), await its ack -> broadcast to the remaining holders
+// in parallel -> apply locally -> ack the client.  If the owner dies
 // anywhere before the ack, the client's retry lands on the failover owner,
 // which either has the op recorded (dedup -> ack) or -- only possible when
-// no replica got it -- re-executes it fresh.  The host-side apply ledger
-// (op_versions) records every distinct version an op was applied at; the
-// chaos gate is that every acked op maps to exactly one version.
+// no replica got it -- re-executes it fresh.  Recovery transfers the dedup
+// table alongside the store (kSyncOps next to kSyncPull) so a rejoined
+// owner still recognises retries of ops it never saw.  The host-side apply
+// ledger (op_versions) records every distinct version an op was applied at;
+// the chaos gate is that every acked op maps to exactly one version.
 
 #ifndef HMESH_MESH_H_
 #define HMESH_MESH_H_
@@ -76,7 +81,7 @@ namespace hmesh {
 
 using hsim::Tick;
 
-enum class MeshOp : std::uint8_t { kGet, kPut, kUpdate, kSyncPull };
+enum class MeshOp : std::uint8_t { kGet, kPut, kUpdate, kSyncPull, kSyncOps };
 const char* MeshOpName(MeshOp op);
 
 enum class MeshStatus : std::uint8_t {
@@ -84,6 +89,7 @@ enum class MeshStatus : std::uint8_t {
   kOk,
   kWrongOwner,    // routed to a machine the current ring does not make owner
   kUnavailable,   // destination left the ring (failover committed) mid-call
+  kNotFound,      // owner does not store the key: data loss, never a zero read
 };
 
 enum class NodeState : std::uint8_t { kUp, kDown, kSyncing };
@@ -111,7 +117,15 @@ struct MeshConfig {
   Tick put_service = 56;
   Tick update_service = 16;
   Tick sync_entry_service = 8;
-  std::uint32_t sync_batch = 16;    // entries per kSyncPull reply
+  // Entries per kSyncPull/kSyncOps reply.  Recovery transfers the dedup
+  // table as well as the store, so pulls are round-trip-bound: the batch is
+  // sized to keep a full re-sync (two rounds over every peer) well inside
+  // the chaos unavailability budget.
+  std::uint32_t sync_batch = 64;
+  // Applied-op dedup records retained per node (FIFO-evicted).  Bounds the
+  // window in which a retried put is recognised after unrelated writes; far
+  // larger than any plausible retry horizon at these timeouts.
+  std::uint32_t dedup_window = 1024;
 
   // Host-side channel lanes per machine (bounds concurrent outbound calls).
   std::uint32_t lanes = 32;
@@ -144,7 +158,8 @@ struct MeshPacket {
   std::uint64_t value = 0;
   std::uint64_t version = 0;
   std::uint64_t op_id = 0;   // client-op id (put dedup across owner failover)
-  std::uint64_t cursor = 0;  // kSyncPull resume key
+  std::uint64_t cursor = 0;  // kSyncPull/kSyncOps resume point: first key (or
+                             // op id) to serve; replies carry last + 1
   MeshStatus status = MeshStatus::kPending;
   std::uint64_t flight_id = 0;    // causal parent for the handler-side record
   std::uint64_t flight_send = 0;  // initiator's send instant
@@ -254,6 +269,9 @@ class Mesh {
     std::uint64_t updates_stale = 0;     // replica updates dropped by the version gate
     std::uint64_t sync_entries_out = 0;  // entries served to a recovering peer
     std::uint64_t sync_entries_in = 0;   // entries applied during resync
+    std::uint64_t sync_ops_out = 0;      // dedup records served to a recovering peer
+    std::uint64_t sync_ops_in = 0;       // dedup records received during resync
+    std::uint64_t get_misses = 0;        // owner gets on a key it does not store
     std::uint64_t wrong_owner = 0;       // requests refused: not the owner
     std::uint64_t dup_requests = 0;      // dedup-window hits (cached resend or discard)
     std::uint64_t rpcs_out = 0;
@@ -307,6 +325,16 @@ class Mesh {
     MeshPacket cached_reply;
   };
 
+  // One applied client op, remembered for put dedup.  Keyed by op id in a
+  // per-node table so a later write to the same key cannot erase the record
+  // (the single writer_op slot in Entry is a per-key convenience, not the
+  // dedup source of truth).
+  struct AppliedOp {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::uint64_t version = 0;
+  };
+
   struct Node {
     std::unique_ptr<hsim::Machine> machine;
     std::unique_ptr<hsim::Resource> store_service;
@@ -314,6 +342,8 @@ class Mesh {
     NodeState state = NodeState::kUp;
     std::uint64_t incarnation = 1;
     std::map<std::uint64_t, Entry> store;  // ordered: deterministic iteration
+    std::map<std::uint64_t, AppliedOp> applied_ops;  // op id -> dedup record
+    std::deque<std::uint64_t> applied_fifo;          // insertion order: eviction
     std::deque<MeshPacket> inbox;
     std::vector<SrcWindow> windows;        // by sender channel id
     std::set<std::uint64_t> write_busy;    // keys with a put in flight
@@ -350,6 +380,10 @@ class Mesh {
                                 Tick service);
   void ApplyEntry(Node& node, std::uint64_t key, std::uint64_t value, std::uint64_t version,
                   std::uint64_t op_id, bool log);
+  // Remembers op_id in the node's dedup table (no-op for op id 0 or an
+  // already-recorded op); evicts the oldest records past dedup_window.
+  void RecordAppliedOp(Node& node, std::uint64_t op_id, std::uint64_t key,
+                       std::uint64_t value, std::uint64_t version);
   hsim::Task<PutResult> ApplyPut(hsim::Processor& p, std::uint32_t m, std::uint64_t inc,
                                  std::uint64_t key, std::uint64_t value, std::uint64_t op_id,
                                  hflight::FlightRecord* rec);
@@ -357,6 +391,10 @@ class Mesh {
   // --- recovery ---------------------------------------------------------------
   hsim::Task<void> ResyncTask(std::uint32_t m, std::uint64_t inc);
   hsim::Task<bool> PullRound(hsim::Processor& p, std::uint32_t m, std::uint64_t inc);
+  // Cursor-batched pull of one peer's store (kSyncPull) or dedup table
+  // (kSyncOps).  Returns false only when machine m died mid-pull.
+  hsim::Task<bool> PullFrom(hsim::Processor& p, std::uint32_t m, std::uint64_t inc,
+                            std::uint32_t peer, MeshOp op);
 
   hsim::Engine* engine_;
   MeshConfig config_;

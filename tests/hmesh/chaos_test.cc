@@ -3,8 +3,10 @@
 //
 //   1. exact-once: every acked client write was applied at exactly one
 //      version mesh-wide (the apply ledger has one entry per acked op);
-//   2. zero lost ops: the highest acked version of every key is present with
-//      the right value on the current owner and every replica serving it;
+//   2. zero lost ops: every policy holder of every key actually stores it
+//      (possession is asserted, not used to gate the audit -- a replica that
+//      silently lost data must fail here, not drop out), and the highest
+//      acked version of every key is what the owner and every holder store;
 //   3. bounded unavailability: failover commits within the detection budget
 //      (suspect_after escalating timeouts) and the recovered machine is
 //      re-synced within the configured re-sync window;
@@ -64,6 +66,7 @@ struct ChaosResult {
   std::vector<std::map<std::uint64_t, Mesh::Entry>> stores;
   std::map<std::uint64_t, std::vector<std::uint64_t>> ledger;
   std::vector<std::uint32_t> owners;  // final ring owner per key
+  std::vector<std::vector<std::uint32_t>> holders;  // final policy holders per key
   std::vector<std::vector<bool>> holds;  // [m][key] HoldsLocally at the end
 };
 
@@ -126,8 +129,10 @@ ChaosResult RunChaosCampaign() {
   r.stores.resize(kMachines);
   r.holds.assign(kMachines, std::vector<bool>(mc.keys(), false));
   r.owners.resize(mc.keys());
+  r.holders.resize(mc.keys());
   for (std::uint64_t key = 0; key < mc.keys(); ++key) {
     r.owners[key] = mesh.ring().OwnerOf(key);
+    r.holders[key] = mesh.HoldersOf(key);
     for (std::uint32_t m = 0; m < kMachines; ++m) {
       const Mesh::Entry* e = mesh.Lookup(m, key);
       if (e != nullptr) {
@@ -163,9 +168,21 @@ TEST(MeshChaosTest, KillRecoverCycleMeetsAllGates) {
     EXPECT_EQ(versions[0], w.version);
   }
 
-  // Gate 2: zero lost ops.  For every key, its highest acked write is what
-  // the final owner stores, and every machine still serving the key locally
-  // agrees.
+  // Gate 2: zero lost ops.  First, possession: at the end of the campaign
+  // every machine is up and the victim has completed resync, so *every*
+  // policy holder of *every* key -- written or only seeded -- must actually
+  // store it.  This is asserted outright rather than used to gate the value
+  // audit: HoldsLocally is false precisely when the store entry is missing,
+  // so a replica that silently lost data would otherwise be excluded from
+  // the very check meant to catch the loss.
+  for (std::uint64_t key = 0; key < r.owners.size(); ++key) {
+    for (std::uint32_t m : r.holders[key]) {
+      EXPECT_TRUE(r.holds[m][key]) << "holder " << m << " does not serve key " << key;
+      EXPECT_EQ(r.stores[m].count(key), 1u) << "holder " << m << " lost key " << key;
+    }
+  }
+  // Then values: for every written key, its highest acked write is what the
+  // final owner stores, and every policy holder agrees.
   std::map<std::uint64_t, AckedWrite> newest;
   for (const AckedWrite& w : r.acked) {
     auto [it, inserted] = newest.emplace(w.key, w);
@@ -180,12 +197,12 @@ TEST(MeshChaosTest, KillRecoverCycleMeetsAllGates) {
     ASSERT_NE(it, r.stores[owner].end()) << "owner " << owner << " lost key " << key;
     EXPECT_EQ(it->second.version, w.version) << key;
     EXPECT_EQ(it->second.value, w.value) << key;
-    for (std::uint32_t m = 0; m < kMachines; ++m) {
-      if (m == owner || !r.holds[m][key]) {
+    for (std::uint32_t m : r.holders[key]) {
+      if (m == owner) {
         continue;
       }
       const auto rit = r.stores[m].find(key);
-      ASSERT_NE(rit, r.stores[m].end());
+      ASSERT_NE(rit, r.stores[m].end()) << "holder " << m << " lost key " << key;
       EXPECT_EQ(rit->second.version, w.version) << "stale replica on " << m << " key " << key;
       EXPECT_EQ(rit->second.value, w.value) << key;
     }

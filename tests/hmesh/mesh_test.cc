@@ -163,6 +163,145 @@ TEST(MeshTest, WriteReplicatesToEveryHolder) {
   eng.RunUntilIdle();
 }
 
+TEST(MeshTest, RetriedPutSurvivesInterveningWriteToSameKey) {
+  hsim::Engine eng;
+  Mesh mesh(&eng, SmallMesh());
+  mesh.Start();
+
+  const std::uint64_t key = 3;  // hot: replicated on every machine
+  const std::uint32_t writer = (mesh.ring().OwnerOf(key) + 1) % 4;
+  const std::uint64_t op_a = ClientOpId(writer, 0);
+  const std::uint64_t op_b = ClientOpId(writer, 1);
+
+  std::uint64_t version_a = 0;
+  std::uint64_t version_b = 0;
+  std::uint64_t version_retry = 0;
+  MeshStatus status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 111, op_a, &version_a, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(50'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 222, op_b, &version_b, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(50'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  ASSERT_GT(version_b, version_a);
+
+  // A retry of op A whose ack was lost, arriving only after op B overwrote
+  // the key.  The per-key writer slot now names op B, so only the per-node
+  // applied-op table can recognise the retry: it must be answered from the
+  // record at its original version, never re-executed at a fresh one.
+  status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 111, op_a, &version_retry, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(50'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  EXPECT_EQ(version_retry, version_a);
+  ASSERT_TRUE(DriveUntil(eng, UsToTicks(50'000), [&] { return mesh.Quiescent(); }));
+
+  // Exactly one application of each op, and the intervening write is still
+  // the newest data everywhere.
+  ASSERT_EQ(mesh.op_versions().count(op_a), 1u);
+  EXPECT_EQ(mesh.op_versions().at(op_a), std::vector<std::uint64_t>{version_a});
+  ASSERT_EQ(mesh.op_versions().count(op_b), 1u);
+  EXPECT_EQ(mesh.op_versions().at(op_b), std::vector<std::uint64_t>{version_b});
+  std::uint64_t dedups = 0;
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    dedups += mesh.node_counters(m).put_dedups;
+    const Mesh::Entry* e = mesh.Lookup(m, key);
+    ASSERT_NE(e, nullptr) << m;
+    EXPECT_EQ(e->value, 222u) << m;
+    EXPECT_EQ(e->version, version_b) << m;
+  }
+  EXPECT_EQ(dedups, 1u);
+
+  mesh.Shutdown();
+  eng.RunUntilIdle();
+}
+
+TEST(MeshTest, RecoverRestoresEveryHeldKeyIncludingKeyZero) {
+  hsim::Engine eng;
+  MeshConfig mc = SmallMesh();
+  Mesh mesh(&eng, mc);
+  mesh.Start();
+
+  // Crash and promptly recover a holder of key 0 with no load: nobody
+  // suspects it, so the ring never changes and the victim must rebuild its
+  // entire held set -- key 0 included -- purely from the sync pulls.
+  const std::uint32_t victim = mesh.ring().OwnerOf(0);
+  eng.Spawn(mesh.KillAt(UsToTicks(100), victim));
+  eng.Spawn(mesh.RecoverAt(UsToTicks(200), victim));
+  ASSERT_TRUE(DriveUntil(eng, UsToTicks(200'000),
+                         [&] { return mesh.timeline(victim).synced_at != 0; }));
+
+  for (std::uint64_t key = 0; key < mc.keys(); ++key) {
+    const auto holders = mesh.HoldersOf(key);
+    if (std::find(holders.begin(), holders.end(), victim) == holders.end()) {
+      continue;
+    }
+    const Mesh::Entry* e = mesh.Lookup(victim, key);
+    ASSERT_NE(e, nullptr) << "resync never restored key " << key;
+    EXPECT_EQ(e->value, key * 7 + 1) << key;  // preload value
+    EXPECT_EQ(e->version, 1u) << key;
+  }
+
+  mesh.Shutdown();
+  eng.RunUntilIdle();
+}
+
+TEST(MeshTest, RetryAfterRecoveryDedupsFromSyncedOps) {
+  hsim::Engine eng;
+  Mesh mesh(&eng, SmallMesh());
+  mesh.Start();
+
+  const std::uint64_t key = 2;  // hot: every machine is a holder
+  const std::uint32_t victim = mesh.ring().OwnerOf(key);
+  const std::uint32_t writer = (victim + 1) % 4;
+  const std::uint64_t op_a = ClientOpId(writer, 0);
+  const std::uint64_t op_b = ClientOpId(writer, 1);
+
+  std::uint64_t version_a = 0;
+  std::uint64_t version_b = 0;
+  MeshStatus status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 111, op_a, &version_a, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(50'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 222, op_b, &version_b, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(50'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  ASSERT_TRUE(DriveUntil(eng, UsToTicks(50'000), [&] { return mesh.Quiescent(); }));
+
+  // Crash the owner (its dedup table dies with it) and recover it.  The ops
+  // sync must rebuild the record for op A from the surviving replicas even
+  // though every store's per-key writer slot now names op B.
+  const hsim::Tick now = eng.now();
+  eng.Spawn(mesh.KillAt(now + UsToTicks(100), victim));
+  eng.Spawn(mesh.RecoverAt(now + UsToTicks(200), victim));
+  ASSERT_TRUE(DriveUntil(eng, UsToTicks(400'000),
+                         [&] { return mesh.timeline(victim).synced_at != 0; }));
+
+  // A late retry of op A routed to the rejoined owner must dedup, not
+  // re-execute.
+  std::uint64_t version_retry = 0;
+  status = MeshStatus::kPending;
+  eng.Spawn(OneWrite(&mesh, writer, key, 111, op_a, &version_retry, &status));
+  ASSERT_TRUE(
+      DriveUntil(eng, UsToTicks(450'000), [&] { return status != MeshStatus::kPending; }));
+  ASSERT_EQ(status, MeshStatus::kOk);
+  EXPECT_EQ(version_retry, version_a);
+  ASSERT_EQ(mesh.op_versions().count(op_a), 1u);
+  EXPECT_EQ(mesh.op_versions().at(op_a), std::vector<std::uint64_t>{version_a});
+  EXPECT_EQ(mesh.node_counters(victim).put_dedups, 1u);
+  EXPECT_GT(mesh.node_counters(victim).sync_ops_in, 0u);
+
+  mesh.Shutdown();
+  eng.RunUntilIdle();
+}
+
 // --- full-load scenarios ------------------------------------------------------
 
 struct LoadResult {
